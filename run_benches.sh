@@ -1,0 +1,6 @@
+#!/bin/sh
+# Regenerates every reproduced table/figure (see EXPERIMENTS.md).
+set -e
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && echo "==== $b ====" && "$b"
+done

@@ -1,0 +1,52 @@
+//===- analysis/CFG.cpp - Control-flow graph utilities --------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+
+using namespace ra;
+
+CFG CFG::compute(const Function &F) {
+  CFG G;
+  unsigned NB = F.numBlocks();
+  G.Preds.resize(NB);
+  G.Succs.resize(NB);
+  G.RPOIndex.assign(NB, ~0u);
+
+  for (const BasicBlock &B : F.blocks()) {
+    for (uint32_t S : B.successors()) {
+      G.Succs[B.Id].push_back(S);
+      G.Preds[S].push_back(B.Id);
+    }
+  }
+
+  // Iterative post-order DFS from the entry.
+  std::vector<uint32_t> PostOrder;
+  std::vector<uint8_t> State(NB, 0); // 0 = unseen, 1 = open, 2 = done
+  std::vector<std::pair<uint32_t, unsigned>> Stack;
+  Stack.push_back({F.entry(), 0});
+  State[F.entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextChild] = Stack.back();
+    if (NextChild < G.Succs[B].size()) {
+      uint32_t S = G.Succs[B][NextChild++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      State[B] = 2;
+      PostOrder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+
+  G.RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I < G.RPO.size(); ++I)
+    G.RPOIndex[G.RPO[I]] = I;
+  return G;
+}

@@ -1,0 +1,50 @@
+//===- analysis/CFG.h - Control-flow graph utilities -----------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derived control-flow structure of a function: predecessor/successor
+/// lists, reachability from the entry, and a reverse post-order used by
+/// the dataflow solvers and the dominator computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_ANALYSIS_CFG_H
+#define RA_ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ra {
+
+/// Immutable CFG snapshot; recompute after editing blocks.
+class CFG {
+public:
+  /// Builds the CFG of \p F.
+  static CFG compute(const Function &F);
+
+  const std::vector<uint32_t> &preds(uint32_t B) const { return Preds[B]; }
+  const std::vector<uint32_t> &succs(uint32_t B) const { return Succs[B]; }
+
+  /// Reverse post-order over reachable blocks (entry first).
+  const std::vector<uint32_t> &rpo() const { return RPO; }
+
+  /// Position of block \p B in the RPO, or ~0u when unreachable.
+  uint32_t rpoIndex(uint32_t B) const { return RPOIndex[B]; }
+
+  bool isReachable(uint32_t B) const { return RPOIndex[B] != ~0u; }
+
+  unsigned numBlocks() const { return Preds.size(); }
+
+private:
+  std::vector<std::vector<uint32_t>> Preds, Succs;
+  std::vector<uint32_t> RPO;
+  std::vector<uint32_t> RPOIndex;
+};
+
+} // namespace ra
+
+#endif // RA_ANALYSIS_CFG_H

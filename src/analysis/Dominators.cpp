@@ -1,0 +1,61 @@
+//===- analysis/Dominators.cpp - Dominator tree ---------------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace ra;
+
+Dominators Dominators::compute(const Function &F, const CFG &G) {
+  Dominators D;
+  D.Entry = F.entry();
+  D.IDom.assign(F.numBlocks(), ~0u);
+  D.RPOIndex.resize(F.numBlocks());
+  for (uint32_t B = 0; B < F.numBlocks(); ++B)
+    D.RPOIndex[B] = G.rpoIndex(B);
+
+  D.IDom[D.Entry] = D.Entry;
+
+  auto Intersect = [&D](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (D.RPOIndex[A] > D.RPOIndex[B])
+        A = D.IDom[A];
+      while (D.RPOIndex[B] > D.RPOIndex[A])
+        B = D.IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : G.rpo()) {
+      if (B == D.Entry)
+        continue;
+      uint32_t NewIDom = ~0u;
+      for (uint32_t P : G.preds(B)) {
+        if (D.IDom[P] == ~0u)
+          continue; // not yet processed / unreachable
+        NewIDom = NewIDom == ~0u ? P : Intersect(P, NewIDom);
+      }
+      assert(NewIDom != ~0u && "reachable block with no processed pred");
+      if (D.IDom[B] != NewIDom) {
+        D.IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  return D;
+}
+
+bool Dominators::dominates(uint32_t A, uint32_t B) const {
+  assert(IDom[A] != ~0u && IDom[B] != ~0u && "query on unreachable block");
+  // Walk B's idom chain upward; idoms strictly decrease in RPO index.
+  while (RPOIndex[B] > RPOIndex[A])
+    B = IDom[B];
+  return A == B;
+}

@@ -1,0 +1,43 @@
+//===- analysis/Dominators.h - Dominator tree ------------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate dominators computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm ("A Simple, Fast Dominance Algorithm") — a fitting
+/// choice, as Cooper and Kennedy are authors of the paper reproduced
+/// here. Loop detection (back edges) builds on these results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_ANALYSIS_DOMINATORS_H
+#define RA_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFG.h"
+
+namespace ra {
+
+/// Dominator tree over the reachable blocks of a function.
+class Dominators {
+public:
+  /// Computes immediate dominators of every reachable block.
+  static Dominators compute(const Function &F, const CFG &G);
+
+  /// Immediate dominator of \p B; the entry's idom is itself.
+  /// Undefined for unreachable blocks.
+  uint32_t idom(uint32_t B) const { return IDom[B]; }
+
+  /// True iff \p A dominates \p B (reflexive). Both must be reachable.
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  std::vector<uint32_t> IDom;
+  std::vector<uint32_t> RPOIndex; // for the idom-chain walk bound
+  uint32_t Entry = 0;
+};
+
+} // namespace ra
+
+#endif // RA_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,64 @@
+//===- analysis/LoopInfo.cpp - Natural loops and nesting depth ------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ra;
+
+LoopInfo LoopInfo::compute(const Function &F, const CFG &G,
+                           const Dominators &D) {
+  LoopInfo LI;
+  unsigned NB = F.numBlocks();
+  LI.Depth.assign(NB, 0);
+
+  // Back edges grouped by header: T -> H where H dominates T.
+  std::map<uint32_t, std::vector<uint32_t>> Latches;
+  for (uint32_t B = 0; B < NB; ++B) {
+    if (!G.isReachable(B))
+      continue;
+    for (uint32_t S : G.succs(B))
+      if (G.isReachable(S) && D.dominates(S, B))
+        Latches[S].push_back(B);
+  }
+
+  // Natural loop of header H: H plus all blocks that reach a latch
+  // without passing through H (backward flood from the latches).
+  for (const auto &[Header, LatchList] : Latches) {
+    Loop L;
+    L.Header = Header;
+    std::vector<bool> InLoop(NB, false);
+    InLoop[Header] = true;
+    std::vector<uint32_t> Work;
+    for (uint32_t T : LatchList)
+      if (!InLoop[T]) {
+        InLoop[T] = true;
+        Work.push_back(T);
+      }
+    while (!Work.empty()) {
+      uint32_t B = Work.back();
+      Work.pop_back();
+      for (uint32_t P : G.preds(B))
+        if (G.isReachable(P) && !InLoop[P]) {
+          InLoop[P] = true;
+          Work.push_back(P);
+        }
+    }
+    for (uint32_t B = 0; B < NB; ++B)
+      if (InLoop[B]) {
+        L.Blocks.push_back(B);
+        ++LI.Depth[B];
+      }
+    LI.Loops.push_back(std::move(L));
+  }
+
+  LI.MaxDepth = LI.Depth.empty()
+                    ? 0
+                    : *std::max_element(LI.Depth.begin(), LI.Depth.end());
+  return LI;
+}

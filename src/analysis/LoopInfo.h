@@ -1,0 +1,53 @@
+//===- analysis/LoopInfo.h - Natural loops and nesting depth ---*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection and per-block loop nesting depth. The spill
+/// cost estimator weights each load/store insertion point by
+/// 10^depth(block), exactly as the paper describes ("weighted by the
+/// loop nesting depth of each insertion point").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_ANALYSIS_LOOPINFO_H
+#define RA_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+namespace ra {
+
+/// One natural loop: a header plus its body (headers of back edges
+/// merged, so each header owns exactly one loop).
+struct Loop {
+  uint32_t Header = 0;
+  std::vector<uint32_t> Blocks; ///< Includes the header.
+};
+
+/// Loop nesting structure of a function.
+class LoopInfo {
+public:
+  /// Finds all natural loops via dominator-identified back edges.
+  static LoopInfo compute(const Function &F, const CFG &G,
+                          const Dominators &D);
+
+  /// Number of loops (strictly) containing \p B, counting a loop header
+  /// as inside its own loop.
+  unsigned depth(uint32_t B) const { return Depth[B]; }
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Largest depth over all blocks.
+  unsigned maxDepth() const { return MaxDepth; }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<unsigned> Depth;
+  unsigned MaxDepth = 0;
+};
+
+} // namespace ra
+
+#endif // RA_ANALYSIS_LOOPINFO_H

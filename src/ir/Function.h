@@ -1,0 +1,161 @@
+//===- ir/Function.h - Basic blocks and functions --------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock and Function. A function owns its virtual register table,
+/// its blocks (block 0 is the entry), and the spill-slot table that the
+/// register allocator grows as it inserts spill code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_IR_FUNCTION_H
+#define RA_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace ra {
+
+/// Static information about one virtual register / live range.
+struct VRegInfo {
+  std::string Name;          ///< Debug name ("i", "da.3", "spill.t12", ...).
+  RegClass Class = RegClass::Int;
+  bool IsSpillTemp = false;  ///< Created by the spill-code inserter.
+};
+
+/// A straight-line run of instructions ending in one terminator.
+struct BasicBlock {
+  uint32_t Id = 0;
+  std::string Name;
+  std::vector<Instruction> Insts;
+
+  /// The terminator, which must be the last instruction.
+  const Instruction &terminator() const {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block is not terminated");
+    return Insts.back();
+  }
+
+  /// Successor block ids in terminator operand order.
+  std::vector<uint32_t> successors() const {
+    std::vector<uint32_t> Out;
+    terminator().forEachBlockTarget([&Out](uint32_t B) { Out.push_back(B); });
+    return Out;
+  }
+};
+
+/// A single routine: the unit over which the allocator runs.
+class Function {
+public:
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  //===--------------------------------------------------------------===//
+  // Virtual registers.
+  //===--------------------------------------------------------------===//
+
+  /// Creates a fresh virtual register of class \p RC.
+  VRegId newVReg(RegClass RC, std::string RegName = "",
+                 bool IsSpillTemp = false) {
+    VRegId Id = VRegs.size();
+    if (RegName.empty())
+      RegName = "v" + std::to_string(Id);
+    VRegs.push_back({std::move(RegName), RC, IsSpillTemp});
+    return Id;
+  }
+
+  unsigned numVRegs() const { return VRegs.size(); }
+
+  const VRegInfo &vreg(VRegId Id) const {
+    assert(Id < VRegs.size() && "vreg id out of range");
+    return VRegs[Id];
+  }
+
+  VRegInfo &vreg(VRegId Id) {
+    assert(Id < VRegs.size() && "vreg id out of range");
+    return VRegs[Id];
+  }
+
+  RegClass regClass(VRegId Id) const { return vreg(Id).Class; }
+
+  /// Replaces the whole register table. Used by the renumbering pass,
+  /// which rewrites every register operand to a fresh, dense id space.
+  void setVRegTable(std::vector<VRegInfo> NewTable) {
+    VRegs = std::move(NewTable);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Blocks.
+  //===--------------------------------------------------------------===//
+
+  /// Appends an (empty) block. Block 0 is the function entry.
+  uint32_t newBlock(std::string BlockName = "") {
+    uint32_t Id = Blocks.size();
+    if (BlockName.empty())
+      BlockName = "bb" + std::to_string(Id);
+    Blocks.push_back({Id, std::move(BlockName), {}});
+    return Id;
+  }
+
+  unsigned numBlocks() const { return Blocks.size(); }
+
+  BasicBlock &block(uint32_t Id) {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+
+  const BasicBlock &block(uint32_t Id) const {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+
+  std::vector<BasicBlock> &blocks() { return Blocks; }
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+
+  /// Entry block id (always 0 for a non-empty function).
+  uint32_t entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return 0;
+  }
+
+  /// Total instruction count across all blocks.
+  unsigned numInstructions() const {
+    unsigned N = 0;
+    for (const BasicBlock &B : Blocks)
+      N += B.Insts.size();
+    return N;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Spill slots.
+  //===--------------------------------------------------------------===//
+
+  /// Reserves a new spill slot holding a value of class \p RC.
+  unsigned newSpillSlot(RegClass RC) {
+    SpillSlots.push_back(RC);
+    return SpillSlots.size() - 1;
+  }
+
+  unsigned numSpillSlots() const { return SpillSlots.size(); }
+
+  RegClass spillSlotClass(unsigned Slot) const {
+    assert(Slot < SpillSlots.size() && "spill slot out of range");
+    return SpillSlots[Slot];
+  }
+
+private:
+  std::string Name;
+  std::vector<VRegInfo> VRegs;
+  std::vector<BasicBlock> Blocks;
+  std::vector<RegClass> SpillSlots;
+};
+
+} // namespace ra
+
+#endif // RA_IR_FUNCTION_H

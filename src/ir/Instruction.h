@@ -1,0 +1,143 @@
+//===- ir/Instruction.h - Operands and instructions ------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operand and Instruction value types. An instruction is an opcode plus
+/// a short operand list; when the opcode defines a register, the
+/// definition is always operand 0 and every other register operand is a
+/// use. That single convention keeps the allocator's def/use scanning
+/// free of per-opcode special cases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_IR_INSTRUCTION_H
+#define RA_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ra {
+
+/// A virtual register id, dense per function. After the renumbering pass
+/// runs, each virtual register is exactly one live range.
+using VRegId = uint32_t;
+
+/// Sentinel for "no register".
+inline constexpr VRegId InvalidVReg = ~VRegId(0);
+
+/// One instruction operand.
+struct Operand {
+  enum class Kind : uint8_t { None, Reg, IntImm, FloatImm, Array, Block };
+
+  Kind K = Kind::None;
+  union {
+    VRegId Reg;     ///< Kind::Reg
+    int64_t Imm;    ///< Kind::IntImm (also spill-slot indices)
+    double FImm;    ///< Kind::FloatImm
+    uint32_t Array; ///< Kind::Array — module array symbol id
+    uint32_t Block; ///< Kind::Block — basic block id
+  };
+
+  Operand() : Imm(0) {}
+
+  static Operand reg(VRegId R) {
+    Operand O;
+    O.K = Kind::Reg;
+    O.Reg = R;
+    return O;
+  }
+  static Operand intImm(int64_t V) {
+    Operand O;
+    O.K = Kind::IntImm;
+    O.Imm = V;
+    return O;
+  }
+  static Operand floatImm(double V) {
+    Operand O;
+    O.K = Kind::FloatImm;
+    O.FImm = V;
+    return O;
+  }
+  static Operand array(uint32_t Id) {
+    Operand O;
+    O.K = Kind::Array;
+    O.Array = Id;
+    return O;
+  }
+  static Operand block(uint32_t Id) {
+    Operand O;
+    O.K = Kind::Block;
+    O.Block = Id;
+    return O;
+  }
+
+  bool isReg() const { return K == Kind::Reg; }
+  bool isBlock() const { return K == Kind::Block; }
+};
+
+/// One three-address instruction.
+struct Instruction {
+  Opcode Op = Opcode::Ret;
+  CmpKind Cmp = CmpKind::EQ; ///< Meaningful only when Op == Opcode::Br.
+  std::vector<Operand> Ops;
+
+  Instruction() = default;
+  Instruction(Opcode Op, std::vector<Operand> Ops)
+      : Op(Op), Ops(std::move(Ops)) {}
+  Instruction(Opcode Op, CmpKind Cmp, std::vector<Operand> Ops)
+      : Op(Op), Cmp(Cmp), Ops(std::move(Ops)) {}
+
+  /// True iff this instruction defines a register.
+  bool hasDef() const { return opcodeHasDef(Op); }
+
+  /// The defined register. Only valid when hasDef().
+  VRegId defReg() const {
+    assert(hasDef() && "instruction has no definition");
+    assert(!Ops.empty() && Ops[0].isReg() && "malformed definition");
+    return Ops[0].Reg;
+  }
+
+  /// Rewrites the defined register.
+  void setDefReg(VRegId R) {
+    assert(hasDef() && "instruction has no definition");
+    Ops[0] = Operand::reg(R);
+  }
+
+  bool isTerminator() const { return opcodeIsTerminator(Op); }
+  bool isCopy() const { return Op == Opcode::Copy; }
+
+  /// Calls \p Fn(VRegId) for every register *use* (all register operands
+  /// except the definition).
+  template <typename CallableT> void forEachUse(CallableT Fn) const {
+    unsigned First = hasDef() ? 1 : 0;
+    for (unsigned I = First, E = Ops.size(); I != E; ++I)
+      if (Ops[I].isReg())
+        Fn(Ops[I].Reg);
+  }
+
+  /// Calls \p Fn(Operand&) for every register-use operand, allowing the
+  /// callee to rewrite the register in place.
+  template <typename CallableT> void forEachUseOperand(CallableT Fn) {
+    unsigned First = hasDef() ? 1 : 0;
+    for (unsigned I = First, E = Ops.size(); I != E; ++I)
+      if (Ops[I].isReg())
+        Fn(Ops[I]);
+  }
+
+  /// Calls \p Fn(uint32_t BlockId) for every block operand (terminators).
+  template <typename CallableT> void forEachBlockTarget(CallableT Fn) const {
+    for (const Operand &O : Ops)
+      if (O.isBlock())
+        Fn(O.Block);
+  }
+};
+
+} // namespace ra
+
+#endif // RA_IR_INSTRUCTION_H

@@ -1,0 +1,107 @@
+//===- ir/Opcode.cpp - IR opcodes and traits ------------------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace ra;
+
+const char *ra::regClassName(RegClass RC) {
+  return RC == RegClass::Int ? "int" : "flt";
+}
+
+const char *ra::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::MovI:    return "movi";
+  case Opcode::MovF:    return "movf";
+  case Opcode::Copy:    return "copy";
+  case Opcode::Add:     return "add";
+  case Opcode::Sub:     return "sub";
+  case Opcode::Mul:     return "mul";
+  case Opcode::Div:     return "div";
+  case Opcode::Rem:     return "rem";
+  case Opcode::AddI:    return "addi";
+  case Opcode::MulI:    return "muli";
+  case Opcode::FAdd:    return "fadd";
+  case Opcode::FSub:    return "fsub";
+  case Opcode::FMul:    return "fmul";
+  case Opcode::FDiv:    return "fdiv";
+  case Opcode::FNeg:    return "fneg";
+  case Opcode::FAbs:    return "fabs";
+  case Opcode::FSqrt:   return "fsqrt";
+  case Opcode::IToF:    return "itof";
+  case Opcode::FToI:    return "ftoi";
+  case Opcode::Load:    return "load";
+  case Opcode::FLoad:   return "fload";
+  case Opcode::Store:   return "store";
+  case Opcode::FStore:  return "fstore";
+  case Opcode::SpillLd: return "spill.ld";
+  case Opcode::SpillSt: return "spill.st";
+  case Opcode::Br:      return "br";
+  case Opcode::Jmp:     return "jmp";
+  case Opcode::Ret:     return "ret";
+  }
+  assert(false && "unknown opcode");
+  return "<bad>";
+}
+
+const char *ra::cmpKindName(CmpKind K) {
+  switch (K) {
+  case CmpKind::EQ: return "eq";
+  case CmpKind::NE: return "ne";
+  case CmpKind::LT: return "lt";
+  case CmpKind::LE: return "le";
+  case CmpKind::GT: return "gt";
+  case CmpKind::GE: return "ge";
+  }
+  assert(false && "unknown comparison");
+  return "<bad>";
+}
+
+bool ra::opcodeHasDef(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::FStore:
+  case Opcode::SpillSt:
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool ra::opcodeIsTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::Jmp || Op == Opcode::Ret;
+}
+
+bool ra::evalCmp(CmpKind K, int64_t L, int64_t R) {
+  switch (K) {
+  case CmpKind::EQ: return L == R;
+  case CmpKind::NE: return L != R;
+  case CmpKind::LT: return L < R;
+  case CmpKind::LE: return L <= R;
+  case CmpKind::GT: return L > R;
+  case CmpKind::GE: return L >= R;
+  }
+  assert(false && "unknown comparison");
+  return false;
+}
+
+bool ra::evalCmp(CmpKind K, double L, double R) {
+  switch (K) {
+  case CmpKind::EQ: return L == R;
+  case CmpKind::NE: return L != R;
+  case CmpKind::LT: return L < R;
+  case CmpKind::LE: return L <= R;
+  case CmpKind::GT: return L > R;
+  case CmpKind::GE: return L >= R;
+  }
+  assert(false && "unknown comparison");
+  return false;
+}

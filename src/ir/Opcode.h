@@ -1,0 +1,98 @@
+//===- ir/Opcode.h - IR opcodes and traits ---------------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcodes of the three-address intermediate representation. The set
+/// mirrors what a late-1980s RISC code generator (the paper's IBM RT/PC
+/// target) would expose to a Chaitin-style allocator: register-register
+/// arithmetic in two register classes, register+immediate forms, array
+/// loads/stores, compare-and-branch, and dedicated spill traffic opcodes
+/// so spill code inserted by the allocator is visible to the cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_IR_OPCODE_H
+#define RA_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace ra {
+
+/// Register classes. The RT/PC has sixteen general purpose (integer)
+/// registers and eight floating-point registers in disjoint files.
+enum class RegClass : uint8_t { Int = 0, Float = 1 };
+
+/// Number of distinct register classes.
+inline constexpr unsigned NumRegClasses = 2;
+
+/// Printable name of a register class ("int" / "flt").
+const char *regClassName(RegClass RC);
+
+/// IR operation codes.
+enum class Opcode : uint8_t {
+  // Constants and copies.
+  MovI,  ///< int reg = integer immediate
+  MovF,  ///< float reg = floating immediate
+  Copy,  ///< reg = reg (same class; the coalescable copy)
+
+  // Integer arithmetic (three-address, register operands).
+  Add, Sub, Mul, Div, Rem,
+  // Integer register+immediate forms.
+  AddI, ///< int reg = reg + imm
+  MulI, ///< int reg = reg * imm
+
+  // Floating-point arithmetic.
+  FAdd, FSub, FMul, FDiv,
+  FNeg,  ///< float reg = -reg
+  FAbs,  ///< float reg = |reg|
+  FSqrt, ///< float reg = sqrt(reg)
+
+  // Conversions.
+  IToF, ///< float reg = (double) int reg
+  FToI, ///< int reg = (int) float reg (truncating)
+
+  // Array memory traffic: base is a module-level array symbol, the
+  // index is an integer register.
+  Load,   ///< int reg = intarray[idx]
+  FLoad,  ///< float reg = fltarray[idx]
+  Store,  ///< intarray[idx] = int reg
+  FStore, ///< fltarray[idx] = float reg
+
+  // Spill traffic inserted by the register allocator. The slot is an
+  // integer immediate naming a per-function spill slot.
+  SpillLd, ///< reg = spill-slot
+  SpillSt, ///< spill-slot = reg
+
+  // Terminators.
+  Br,  ///< compare two registers of one class, branch to one of two blocks
+  Jmp, ///< unconditional branch
+  Ret, ///< return (optionally yielding one register to the harness)
+};
+
+/// Comparison kinds used by \c Opcode::Br.
+enum class CmpKind : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// Printable mnemonic ("movi", "fadd", ...).
+const char *opcodeName(Opcode Op);
+
+/// Printable comparison mnemonic ("eq", "lt", ...).
+const char *cmpKindName(CmpKind K);
+
+/// True iff the opcode defines a register (which is always operand 0).
+bool opcodeHasDef(Opcode Op);
+
+/// True iff the opcode ends a basic block.
+bool opcodeIsTerminator(Opcode Op);
+
+/// Evaluates an integer comparison.
+bool evalCmp(CmpKind K, int64_t L, int64_t R);
+
+/// Evaluates a floating-point comparison.
+bool evalCmp(CmpKind K, double L, double R);
+
+} // namespace ra
+
+#endif // RA_IR_OPCODE_H

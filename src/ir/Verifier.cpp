@@ -1,0 +1,369 @@
+//===- ir/Verifier.cpp - IR well-formedness checks ------------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRPrinter.h"
+#include "support/BitVector.h"
+
+#include <deque>
+
+using namespace ra;
+
+namespace {
+
+/// Collects errors for one function.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Module &M, const Function &F) : M(M), F(F) {}
+
+  std::vector<std::string> run() {
+    if (F.numBlocks() == 0) {
+      error("function has no blocks");
+      return Errors;
+    }
+    for (const BasicBlock &B : F.blocks())
+      checkBlock(B);
+    if (Errors.empty())
+      checkDefiniteAssignment();
+    return Errors;
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Errors.push_back("@" + F.name() + ": " + Msg);
+  }
+
+  void errorAt(const BasicBlock &B, const Instruction &I,
+               const std::string &Msg) {
+    error("in " + B.Name + ": '" + printInstruction(M, F, I) + "': " + Msg);
+  }
+
+  bool checkReg(const BasicBlock &B, const Instruction &I, const Operand &O,
+                RegClass Expected) {
+    if (!O.isReg()) {
+      errorAt(B, I, "expected a register operand");
+      return false;
+    }
+    if (O.Reg >= F.numVRegs()) {
+      errorAt(B, I, "register id out of range");
+      return false;
+    }
+    if (F.regClass(O.Reg) != Expected) {
+      errorAt(B, I, std::string("operand must be of class ") +
+                        regClassName(Expected));
+      return false;
+    }
+    return true;
+  }
+
+  bool checkCount(const BasicBlock &B, const Instruction &I, unsigned N) {
+    if (I.Ops.size() == N)
+      return true;
+    errorAt(B, I, "expected " + std::to_string(N) + " operands, found " +
+                      std::to_string(I.Ops.size()));
+    return false;
+  }
+
+  bool checkKind(const BasicBlock &B, const Instruction &I, unsigned Idx,
+                 Operand::Kind K, const char *What) {
+    if (I.Ops[Idx].K == K)
+      return true;
+    errorAt(B, I, std::string("operand ") + std::to_string(Idx) +
+                      " must be " + What);
+    return false;
+  }
+
+  void checkBlock(const BasicBlock &B) {
+    if (B.Insts.empty()) {
+      error("block " + B.Name + " is empty (needs a terminator)");
+      return;
+    }
+    for (unsigned Idx = 0, E = B.Insts.size(); Idx != E; ++Idx) {
+      const Instruction &I = B.Insts[Idx];
+      bool IsLast = Idx + 1 == E;
+      if (I.isTerminator() != IsLast) {
+        errorAt(B, I, IsLast ? "block does not end in a terminator"
+                             : "terminator in the middle of a block");
+        return;
+      }
+      checkSignature(B, I);
+    }
+  }
+
+  void checkSignature(const BasicBlock &B, const Instruction &I) {
+    using K = Operand::Kind;
+    const RegClass IC = RegClass::Int, FC = RegClass::Float;
+    switch (I.Op) {
+    case Opcode::MovI:
+      if (checkCount(B, I, 2) && checkReg(B, I, I.Ops[0], IC))
+        checkKind(B, I, 1, K::IntImm, "an integer immediate");
+      return;
+    case Opcode::MovF:
+      if (checkCount(B, I, 2) && checkReg(B, I, I.Ops[0], FC))
+        checkKind(B, I, 1, K::FloatImm, "a floating immediate");
+      return;
+    case Opcode::Copy:
+      if (!checkCount(B, I, 2))
+        return;
+      if (!I.Ops[0].isReg() || !I.Ops[1].isReg() ||
+          I.Ops[0].Reg >= F.numVRegs() || I.Ops[1].Reg >= F.numVRegs()) {
+        errorAt(B, I, "copy needs two in-range registers");
+        return;
+      }
+      if (F.regClass(I.Ops[0].Reg) != F.regClass(I.Ops[1].Reg))
+        errorAt(B, I, "copy between different register classes");
+      return;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+      if (checkCount(B, I, 3))
+        for (unsigned Idx = 0; Idx < 3; ++Idx)
+          checkReg(B, I, I.Ops[Idx], IC);
+      return;
+    case Opcode::AddI:
+    case Opcode::MulI:
+      if (checkCount(B, I, 3) && checkReg(B, I, I.Ops[0], IC) &&
+          checkReg(B, I, I.Ops[1], IC))
+        checkKind(B, I, 2, K::IntImm, "an integer immediate");
+      return;
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+      if (checkCount(B, I, 3))
+        for (unsigned Idx = 0; Idx < 3; ++Idx)
+          checkReg(B, I, I.Ops[Idx], FC);
+      return;
+    case Opcode::FNeg:
+    case Opcode::FAbs:
+    case Opcode::FSqrt:
+      if (checkCount(B, I, 2)) {
+        checkReg(B, I, I.Ops[0], FC);
+        checkReg(B, I, I.Ops[1], FC);
+      }
+      return;
+    case Opcode::IToF:
+      if (checkCount(B, I, 2)) {
+        checkReg(B, I, I.Ops[0], FC);
+        checkReg(B, I, I.Ops[1], IC);
+      }
+      return;
+    case Opcode::FToI:
+      if (checkCount(B, I, 2)) {
+        checkReg(B, I, I.Ops[0], IC);
+        checkReg(B, I, I.Ops[1], FC);
+      }
+      return;
+    case Opcode::Load:
+    case Opcode::FLoad: {
+      if (!checkCount(B, I, 3))
+        return;
+      RegClass Elem = I.Op == Opcode::Load ? IC : FC;
+      checkReg(B, I, I.Ops[0], Elem);
+      checkArray(B, I, 1, Elem);
+      checkReg(B, I, I.Ops[2], IC);
+      return;
+    }
+    case Opcode::Store:
+    case Opcode::FStore: {
+      if (!checkCount(B, I, 3))
+        return;
+      RegClass Elem = I.Op == Opcode::Store ? IC : FC;
+      checkReg(B, I, I.Ops[0], Elem);
+      checkArray(B, I, 1, Elem);
+      checkReg(B, I, I.Ops[2], IC);
+      return;
+    }
+    case Opcode::SpillLd:
+      if (!checkCount(B, I, 2) || !I.Ops[0].isReg())
+        return;
+      checkSlot(B, I, 1, F.regClass(I.Ops[0].Reg));
+      return;
+    case Opcode::SpillSt:
+      if (!checkCount(B, I, 2) || !I.Ops[0].isReg())
+        return;
+      checkSlot(B, I, 1, F.regClass(I.Ops[0].Reg));
+      return;
+    case Opcode::Br: {
+      if (!checkCount(B, I, 4))
+        return;
+      if (!I.Ops[0].isReg() || I.Ops[0].Reg >= F.numVRegs()) {
+        errorAt(B, I, "bad comparison operand");
+        return;
+      }
+      RegClass RC = F.regClass(I.Ops[0].Reg);
+      checkReg(B, I, I.Ops[1], RC);
+      checkBlockRef(B, I, 2);
+      checkBlockRef(B, I, 3);
+      return;
+    }
+    case Opcode::Jmp:
+      if (checkCount(B, I, 1))
+        checkBlockRef(B, I, 0);
+      return;
+    case Opcode::Ret:
+      if (I.Ops.size() > 1) {
+        errorAt(B, I, "ret takes at most one register");
+        return;
+      }
+      if (I.Ops.size() == 1 &&
+          (!I.Ops[0].isReg() || I.Ops[0].Reg >= F.numVRegs()))
+        errorAt(B, I, "bad ret operand");
+      return;
+    }
+  }
+
+  void checkArray(const BasicBlock &B, const Instruction &I, unsigned Idx,
+                  RegClass Elem) {
+    if (!checkKind(B, I, Idx, Operand::Kind::Array, "an array"))
+      return;
+    if (I.Ops[Idx].Array >= M.numArrays()) {
+      errorAt(B, I, "array id out of range");
+      return;
+    }
+    if (M.array(I.Ops[Idx].Array).Elem != Elem)
+      errorAt(B, I, "array element class mismatch");
+  }
+
+  void checkSlot(const BasicBlock &B, const Instruction &I, unsigned Idx,
+                 RegClass RC) {
+    if (!checkKind(B, I, Idx, Operand::Kind::IntImm, "a spill slot"))
+      return;
+    int64_t Slot = I.Ops[Idx].Imm;
+    if (Slot < 0 || unsigned(Slot) >= F.numSpillSlots()) {
+      errorAt(B, I, "spill slot out of range");
+      return;
+    }
+    if (F.spillSlotClass(unsigned(Slot)) != RC)
+      errorAt(B, I, "spill slot class mismatch");
+  }
+
+  void checkBlockRef(const BasicBlock &B, const Instruction &I, unsigned Idx) {
+    if (!checkKind(B, I, Idx, Operand::Kind::Block, "a block"))
+      return;
+    if (I.Ops[Idx].Block >= F.numBlocks())
+      errorAt(B, I, "branch to out-of-range block");
+  }
+
+  /// Forward dataflow: a register is definitely assigned at a use iff a
+  /// definition precedes it on every path from the entry.
+  void checkDefiniteAssignment() {
+    unsigned NB = F.numBlocks(), NR = F.numVRegs();
+    // In[b] = intersection over predecessors of Out[p]; Out = In U defs.
+    std::vector<BitVector> Out(NB, BitVector(NR));
+    std::vector<bool> Reached(NB, false);
+    std::vector<std::vector<uint32_t>> Preds(NB);
+    for (const BasicBlock &B : F.blocks())
+      for (uint32_t S : B.successors())
+        Preds[S].push_back(B.Id);
+
+    // Initialize Out[b] to "everything" for unprocessed blocks so the
+    // intersection over predecessors starts from the top element.
+    for (BitVector &BV : Out)
+      BV.setAll();
+
+    std::deque<uint32_t> Work;
+    Work.push_back(F.entry());
+    std::vector<bool> InWork(NB, false);
+    InWork[F.entry()] = true;
+    BitVector EntryIn(NR); // entry starts with nothing assigned
+
+    while (!Work.empty()) {
+      uint32_t BId = Work.front();
+      Work.pop_front();
+      InWork[BId] = false;
+      bool FirstVisit = !Reached[BId];
+      Reached[BId] = true;
+
+      BitVector In(NR);
+      bool First = true;
+      if (BId == F.entry()) {
+        First = false; // entry's In is empty
+      } else {
+        for (uint32_t P : Preds[BId]) {
+          if (!Reached[P])
+            continue;
+          if (First) {
+            In = Out[P];
+            First = false;
+          } else {
+            In.intersectWith(Out[P]);
+          }
+        }
+      }
+      if (First)
+        continue; // no reached predecessor yet
+
+      BitVector NewOut = In;
+      for (const Instruction &I : F.block(BId).Insts)
+        if (I.hasDef())
+          NewOut.set(I.defReg());
+      if (!(NewOut == Out[BId]) || FirstVisit) {
+        Out[BId] = NewOut;
+        for (uint32_t S : F.block(BId).successors())
+          if (!InWork[S]) {
+            InWork[S] = true;
+            Work.push_back(S);
+          }
+      }
+    }
+
+    // Re-walk each reached block checking uses against the In set.
+    for (const BasicBlock &B : F.blocks()) {
+      if (!Reached[B.Id])
+        continue;
+      BitVector Live(NR);
+      bool First = true;
+      if (B.Id == F.entry()) {
+        First = false;
+      } else {
+        for (uint32_t P : Preds[B.Id]) {
+          if (!Reached[P])
+            continue;
+          if (First) {
+            Live = Out[P];
+            First = false;
+          } else {
+            Live.intersectWith(Out[P]);
+          }
+        }
+      }
+      for (const Instruction &I : B.Insts) {
+        I.forEachUse([&](VRegId R) {
+          if (R < Live.size() && !Live.test(R))
+            errorAt(B, I,
+                    "register %" + F.vreg(R).Name +
+                        " may be used before definition");
+        });
+        if (I.hasDef())
+          Live.set(I.defReg());
+      }
+    }
+  }
+
+  const Module &M;
+  const Function &F;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+std::vector<std::string> ra::verifyFunction(const Module &M,
+                                            const Function &F) {
+  return FunctionVerifier(M, F).run();
+}
+
+std::vector<std::string> ra::verifyModule(const Module &M) {
+  std::vector<std::string> All;
+  for (unsigned I = 0; I < M.numFunctions(); ++I) {
+    auto Errs = verifyFunction(M, M.function(I));
+    All.insert(All.end(), Errs.begin(), Errs.end());
+  }
+  return All;
+}

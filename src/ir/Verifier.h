@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type checks over modules: operand signatures per
+/// opcode, register-class agreement, terminator placement, in-range
+/// block/array/slot references, and a forward definite-assignment
+/// dataflow proving every use is preceded by a definition on all paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_IR_VERIFIER_H
+#define RA_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace ra {
+
+/// Returns all verification errors in \p F (empty means well-formed).
+std::vector<std::string> verifyFunction(const Module &M, const Function &F);
+
+/// Verifies every function in \p M.
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace ra
+
+#endif // RA_IR_VERIFIER_H

@@ -1,0 +1,72 @@
+//===- opt/Optimizer.h - Classic loop optimizations ------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scalar optimizer that sits in front of the register allocator,
+/// modeling the paper's compilation pipeline: "our front-end and
+/// optimizer rely on the code generator doing a good job of global
+/// register allocation" (Section 1). Two classic transformations:
+///
+///  * loop-invariant code motion — pure, single-def computations whose
+///    operands are defined outside a loop move to a freshly inserted
+///    preheader;
+///  * strength reduction — multiplications and additions of a basic
+///    induction variable become new induction variables updated in
+///    lock-step.
+///
+/// Both lengthen live ranges and raise register pressure, which is what
+/// the 1989 evaluation machines actually presented to the allocator
+/// ("after optimization, there are about a dozen long live ranges...").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_OPT_OPTIMIZER_H
+#define RA_OPT_OPTIMIZER_H
+
+#include "ir/Function.h"
+
+namespace ra {
+
+/// Statistics from one optimizer run.
+struct OptStats {
+  unsigned PreheadersInserted = 0;
+  unsigned InstructionsHoisted = 0;
+  unsigned IVsCreated = 0;     ///< strength-reduced induction variables
+  unsigned ValuesNumbered = 0; ///< redundant computations replaced
+};
+
+/// Inserts a preheader block before every natural-loop header that has
+/// entry edges from outside the loop (skipping headers that are the
+/// function entry). Returns the number of blocks inserted.
+unsigned insertPreheaders(Function &F);
+
+/// Loop-invariant code motion. Requires preheaders (inserts them).
+unsigned hoistLoopInvariants(Function &F);
+
+/// Strength reduction of mulI/addI/add over basic induction variables.
+/// Requires preheaders (inserts them).
+unsigned reduceStrength(Function &F);
+
+/// Local (per-block) value numbering: replaces a pure computation whose
+/// operands carry the same value numbers as an earlier one in the block
+/// with a copy of the earlier result. Returns replacements made. Copies
+/// propagate value numbers, so chains collapse; the allocator's
+/// coalescer later folds the copies away.
+unsigned localValueNumbering(Function &F);
+
+/// Removes pure instructions whose results are never used, iterating to
+/// a fixpoint (removals expose further dead code). Returns the number
+/// of instructions deleted. Memory operations, spill traffic, and
+/// potentially trapping operations are never removed.
+unsigned eliminateDeadCode(Function &F);
+
+/// The standard pipeline: preheaders, then LICM and strength reduction
+/// to a combined fixpoint (each enables more of the other).
+OptStats optimizeFunction(Function &F);
+
+} // namespace ra
+
+#endif // RA_OPT_OPTIMIZER_H

@@ -1,0 +1,111 @@
+//===- regalloc/Allocator.cpp - Build-Simplify-Color driver ---------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Allocator.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Renumber.h"
+#include "regalloc/BuildGraph.h"
+#include "regalloc/Coalesce.h"
+#include "regalloc/SpillCost.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace ra;
+
+AllocationResult ra::allocateRegisters(Function &F,
+                                       const AllocatorConfig &C) {
+  AllocationResult Result;
+  Result.Machine = C.Machine;
+
+  // The CFG shape never changes below: coalescing deletes only copies,
+  // spilling inserts only non-terminators, renumbering touches only
+  // operands. Compute flow structure once.
+  CFG G = CFG::compute(F);
+  Dominators Doms = Dominators::compute(F, G);
+  LoopInfo Loops = LoopInfo::compute(F, G, Doms);
+
+  for (unsigned Pass = 0; Pass < C.MaxPasses; ++Pass) {
+    PassRecord Rec;
+
+    //===----------------------------------------------------------===//
+    // Build: renumber, coalesce, build graphs, compute spill costs.
+    //===----------------------------------------------------------===//
+    Timer BuildTimer;
+    BuildTimer.start();
+    renumberLiveRanges(F, G);
+    if (C.Coalesce) {
+      CoalesceStats CS = coalesceAll(F, G, C.Coalescing, C.Machine);
+      Result.Stats.CopiesCoalesced += CS.CopiesRemoved;
+      if (CS.CopiesRemoved != 0)
+        renumberLiveRanges(F, G); // compact ids merged away
+    }
+    Liveness LV = Liveness::compute(F, G);
+    auto Graphs = buildInterferenceGraphs(F, LV);
+    std::vector<double> Costs = computeSpillCosts(F, Loops, C.Costs);
+    for (ClassGraph &CG : Graphs) {
+      setNodeCosts(F, Costs, CG);
+      Rec.LiveRanges += CG.Graph.numNodes();
+      Rec.Interferences += CG.Graph.numEdges();
+    }
+    BuildTimer.stop();
+    Rec.BuildSeconds = BuildTimer.seconds();
+
+    //===----------------------------------------------------------===//
+    // Simplify + select, one class at a time.
+    //===----------------------------------------------------------===//
+    std::vector<VRegId> ToSpill;
+    std::array<ColoringResult, NumRegClasses> Colorings;
+    for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls) {
+      ClassGraph &CG = Graphs[Cls];
+      Colorings[Cls] =
+          colorGraph(CG.Graph, C.Machine.numRegs(CG.Class), C.H);
+      Rec.SimplifySeconds += Colorings[Cls].SimplifySeconds;
+      Rec.SelectSeconds += Colorings[Cls].SelectSeconds;
+      for (uint32_t Node : Colorings[Cls].Spilled) {
+        VRegId R = CG.NodeToVReg[Node];
+        ToSpill.push_back(R);
+        Rec.SpilledNames.push_back(F.vreg(R).Name);
+        Rec.SpilledCost += Costs[R];
+      }
+    }
+    Rec.SpilledLiveRanges = ToSpill.size();
+
+    if (ToSpill.empty()) {
+      // Done: translate per-class node colors into a per-vreg map.
+      Result.ColorOf.assign(F.numVRegs(), -1);
+      for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls) {
+        const ClassGraph &CG = Graphs[Cls];
+        for (uint32_t Node = 0; Node < CG.Graph.numNodes(); ++Node)
+          Result.ColorOf[CG.NodeToVReg[Node]] =
+              Colorings[Cls].ColorOf[Node];
+      }
+      Result.Stats.Passes.push_back(std::move(Rec));
+      Result.Success = true;
+      return Result;
+    }
+
+    //===----------------------------------------------------------===//
+    // Spill: insert the stores and loads, then go around again.
+    //===----------------------------------------------------------===//
+    Timer SpillTimer;
+    SpillTimer.start();
+    SpillCodeStats SC = insertSpillCode(F, ToSpill, C.Rematerialize);
+    SpillTimer.stop();
+    Rec.SpillSeconds = SpillTimer.seconds();
+    Result.Stats.SpillCode.Loads += SC.Loads;
+    Result.Stats.SpillCode.Stores += SC.Stores;
+    Result.Stats.SpillCode.Remats += SC.Remats;
+    Result.Stats.Passes.push_back(std::move(Rec));
+  }
+
+  // Never observed in practice (the paper reports at most three
+  // passes); callers treat this as an allocation failure.
+  Result.Success = false;
+  return Result;
+}

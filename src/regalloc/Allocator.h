@@ -1,0 +1,128 @@
+//===- regalloc/Allocator.h - Build-Simplify-Color driver ------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete register allocator of the paper's Figure 4:
+///
+///     renumber -> [ build -> coalesce -> spill costs
+///                   -> simplify -> select -> insert spill code ]*
+///
+/// The cycle repeats until a pass needs no spill code. Integer and
+/// floating-point registers are colored independently (disjoint files).
+/// Per-pass phase timings and spill counts are recorded to regenerate
+/// the paper's Figure 7; first-pass spill counts and costs feed the
+/// Figure 5 table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_REGALLOC_ALLOCATOR_H
+#define RA_REGALLOC_ALLOCATOR_H
+
+#include "regalloc/Coalesce.h"
+#include "regalloc/Coloring.h"
+#include "regalloc/SpillInserter.h"
+#include "target/CostModel.h"
+#include "target/MachineInfo.h"
+
+#include <string>
+#include <vector>
+
+namespace ra {
+
+/// Tuning knobs for one allocation run.
+struct AllocatorConfig {
+  Heuristic H = Heuristic::Briggs;
+  MachineInfo Machine = MachineInfo::rtpc();
+  CostModel Costs = CostModel::rtpc();
+  /// Safety bound on Build-Simplify-Color cycles (the paper observed at
+  /// most three in practice).
+  unsigned MaxPasses = 32;
+  /// Run copy coalescing during build.
+  bool Coalesce = true;
+  /// Aggressive (Chaitin, the paper's setting) or the later
+  /// conservative test that never creates uncolorable nodes.
+  CoalescePolicy Coalescing = CoalescePolicy::Aggressive;
+  /// Recompute spilled constants at their uses instead of storing and
+  /// reloading them (off by default: the paper's allocator predates
+  /// rematerialization; turn on to measure the refinement).
+  bool Rematerialize = false;
+};
+
+/// Phase timings and spill decisions of one Build-Simplify-Color pass.
+struct PassRecord {
+  double BuildSeconds = 0;    ///< renumber + coalesce + graph + costs
+  double SimplifySeconds = 0; ///< both classes
+  double SelectSeconds = 0;   ///< both classes ("color" in Figure 7)
+  double SpillSeconds = 0;    ///< spill-code insertion
+
+  unsigned LiveRanges = 0;      ///< graph nodes this pass (both classes)
+  unsigned Interferences = 0;   ///< graph edges this pass
+  unsigned SpilledLiveRanges = 0;
+  double SpilledCost = 0;       ///< sum of estimates over spilled ranges
+  std::vector<std::string> SpilledNames; ///< debug names, decision order
+};
+
+/// Aggregate statistics for a full allocation.
+struct AllocationStats {
+  std::vector<PassRecord> Passes;
+  unsigned CopiesCoalesced = 0;
+  SpillCodeStats SpillCode;
+
+  unsigned numPasses() const { return Passes.size(); }
+
+  /// First-pass spill count — the paper's Figure 5 "Registers Spilled".
+  unsigned firstPassSpills() const {
+    return Passes.empty() ? 0 : Passes.front().SpilledLiveRanges;
+  }
+
+  /// First-pass spill cost — the Figure 5 "Spill Cost" column.
+  double firstPassSpillCost() const {
+    return Passes.empty() ? 0 : Passes.front().SpilledCost;
+  }
+
+  /// Live ranges seen by the first pass (Figure 5 "Live Ranges").
+  unsigned initialLiveRanges() const {
+    return Passes.empty() ? 0 : Passes.front().LiveRanges;
+  }
+
+  unsigned totalSpills() const {
+    unsigned N = 0;
+    for (const PassRecord &P : Passes)
+      N += P.SpilledLiveRanges;
+    return N;
+  }
+
+  double totalSeconds() const {
+    double S = 0;
+    for (const PassRecord &P : Passes)
+      S += P.BuildSeconds + P.SimplifySeconds + P.SelectSeconds +
+           P.SpillSeconds;
+    return S;
+  }
+};
+
+/// Outcome of \c allocateRegisters. The function itself is rewritten in
+/// place (renumbered, coalesced, spill code inserted).
+struct AllocationResult {
+  bool Success = false;        ///< Converged within MaxPasses.
+  AllocationStats Stats;
+  /// Physical register index per final vreg, within its class's file.
+  std::vector<int32_t> ColorOf;
+  MachineInfo Machine = MachineInfo::rtpc();
+
+  /// Physical register assigned to \p R (requires Success).
+  unsigned physReg(VRegId R) const {
+    assert(R < ColorOf.size() && ColorOf[R] >= 0 && "unallocated register");
+    return unsigned(ColorOf[R]);
+  }
+};
+
+/// Allocates registers for \p F (mutating it) with configuration \p C.
+AllocationResult allocateRegisters(Function &F, const AllocatorConfig &C);
+
+} // namespace ra
+
+#endif // RA_REGALLOC_ALLOCATOR_H

@@ -1,0 +1,59 @@
+//===- regalloc/Coalesce.h - Aggressive copy coalescing --------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaitin-style aggressive coalescing: a copy "d = s" whose operands do
+/// not interfere is eliminated by merging the two live ranges. The
+/// paper's build phase runs "repeatedly building the graph and
+/// coalescing registers" until no copy can be merged; \c coalesceAll
+/// drives that loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_REGALLOC_COALESCE_H
+#define RA_REGALLOC_COALESCE_H
+
+#include "analysis/CFG.h"
+#include "target/MachineInfo.h"
+
+#include <optional>
+
+namespace ra {
+
+/// How eagerly copies are merged.
+enum class CoalescePolicy : uint8_t {
+  /// Chaitin's rule: merge every non-interfering copy. Can create
+  /// uncolorable nodes (merging raises degree).
+  Aggressive,
+  /// The later Briggs-lineage refinement: merge only when the combined
+  /// node has fewer than k neighbors of significant degree (>= k), so
+  /// coalescing can never turn a colorable graph uncolorable.
+  Conservative,
+};
+
+/// Result of the coalescing fixpoint.
+struct CoalesceStats {
+  unsigned CopiesRemoved = 0; ///< Copies eliminated by merging.
+  unsigned Rounds = 0;        ///< Build+merge rounds until fixpoint.
+};
+
+/// Runs one build+merge round: builds the interference matrix, merges
+/// every coalescable copy whose operands were not already touched by a
+/// merge this round, rewrites operands, and deletes the dead copies.
+/// Returns the number of copies removed. For the Conservative policy,
+/// \p Machine supplies the per-class k.
+unsigned coalesceOnePass(Function &F, const CFG &G,
+                         CoalescePolicy Policy = CoalescePolicy::Aggressive,
+                         const std::optional<MachineInfo> &Machine = {});
+
+/// Repeats \c coalesceOnePass until no copy can be merged.
+CoalesceStats coalesceAll(Function &F, const CFG &G,
+                          CoalescePolicy Policy = CoalescePolicy::Aggressive,
+                          const std::optional<MachineInfo> &Machine = {});
+
+} // namespace ra
+
+#endif // RA_REGALLOC_COALESCE_H

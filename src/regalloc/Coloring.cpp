@@ -1,0 +1,187 @@
+//===- regalloc/Coloring.cpp - Simplify/select heuristics -----------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Coloring.h"
+
+#include "regalloc/DegreeBuckets.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace ra;
+
+const char *ra::heuristicName(Heuristic H) {
+  switch (H) {
+  case Heuristic::Chaitin:    return "chaitin";
+  case Heuristic::Briggs:     return "briggs";
+  case Heuristic::MatulaBeck: return "matula-beck";
+  }
+  return "<bad>";
+}
+
+namespace {
+
+/// Scans the live nodes for Chaitin's spill candidate: the minimum
+/// ratio of precomputed spill cost to *current* degree. NoSpill nodes
+/// (spill temporaries) rank behind everything else; ties break toward
+/// the lowest node id so all heuristics make identical choices.
+uint32_t pickSpillCandidate(const InterferenceGraph &G,
+                            const DegreeBuckets &Buckets) {
+  uint32_t Best = DegreeBuckets::None;
+  double BestRatio = 0;
+  bool BestNoSpill = true;
+  for (uint32_t N = 0, E = G.numNodes(); N != E; ++N) {
+    if (Buckets.isRemoved(N))
+      continue;
+    const IGNode &Node = G.node(N);
+    uint32_t Deg = Buckets.degree(N);
+    assert(Deg > 0 && "stuck with an isolated node");
+    double Ratio = Node.NoSpill ? InterferenceGraph::InfiniteCost
+                                : Node.SpillCost / double(Deg);
+    bool Better;
+    if (Best == DegreeBuckets::None)
+      Better = true;
+    else if (Node.NoSpill != BestNoSpill)
+      Better = !Node.NoSpill; // spillable beats no-spill
+    else
+      Better = Ratio < BestRatio;
+    if (Better) {
+      Best = N;
+      BestRatio = Ratio;
+      BestNoSpill = Node.NoSpill;
+    }
+  }
+  assert(Best != DegreeBuckets::None && "no live node to spill");
+  return Best;
+}
+
+/// Removes \p N from the working graph, decrementing live neighbors.
+void removeNode(const InterferenceGraph &G, DegreeBuckets &Buckets,
+                uint32_t N) {
+  Buckets.remove(N);
+  for (uint32_t M : G.neighbors(N))
+    if (!Buckets.isRemoved(M))
+      Buckets.decrementDegree(M);
+}
+
+} // namespace
+
+ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
+                              Heuristic H) {
+  assert(K >= 1 && "need at least one color");
+  ColoringResult R;
+  unsigned N = G.numNodes();
+  R.ColorOf.assign(N, -1);
+  if (N == 0)
+    return R;
+
+  Timer SimplifyTimer, SelectTimer;
+
+  //===------------------------------------------------------------===//
+  // Phase 2: simplify.
+  //===------------------------------------------------------------===//
+  SimplifyTimer.start();
+  DegreeBuckets Buckets;
+  {
+    std::vector<uint32_t> Degrees(N);
+    for (uint32_t I = 0; I < N; ++I)
+      Degrees[I] = G.degree(I);
+    Buckets.init(Degrees);
+  }
+
+  R.RemovalOrder.reserve(N);
+  std::vector<bool> MarkedSpilled(N, false); // Chaitin only
+
+  uint32_t Hint = 0;
+  while (Buckets.numLive() != 0) {
+    uint32_t D = Buckets.lowestNonEmpty(Hint);
+    assert(D != DegreeBuckets::None && "live nodes but empty buckets");
+
+    uint32_t Chosen;
+    bool Push = true;
+    if (D < K || H == Heuristic::MatulaBeck) {
+      // Unconstrained node (or smallest-last regardless of K): remove
+      // the head of the lowest bucket.
+      Chosen = Buckets.head(D);
+    } else {
+      // Stuck: every remaining node has K or more neighbors. Fall back
+      // on Chaitin's estimator (Section 2.3) to choose the node, then
+      // either mark it spilled (Chaitin) or push it optimistically
+      // (Briggs).
+      Chosen = pickSpillCandidate(G, Buckets);
+      if (H == Heuristic::Chaitin) {
+        MarkedSpilled[Chosen] = true;
+        R.Spilled.push_back(Chosen);
+        R.SpilledCost += G.node(Chosen).SpillCost;
+        Push = false;
+      }
+    }
+
+    removeNode(G, Buckets, Chosen);
+    if (Push)
+      R.RemovalOrder.push_back(Chosen);
+    // Matula-Beck's search refinement: removing a node from bucket D
+    // can create degree D-1 but nothing lower.
+    Hint = D == 0 ? 0 : D - 1;
+  }
+  SimplifyTimer.stop();
+
+  //===------------------------------------------------------------===//
+  // Phase 3: select. Rebuild the graph in reverse removal order,
+  // assigning each node the first color unused by its already-inserted
+  // neighbors. Uncolorable nodes are left uncolored (Briggs) — spill
+  // decisions deferred to this phase.
+  //===------------------------------------------------------------===//
+  SelectTimer.start();
+  std::vector<bool> Used(K);
+  std::vector<bool> Inserted(N, false);
+  for (auto It = R.RemovalOrder.rbegin(), E = R.RemovalOrder.rend(); It != E;
+       ++It) {
+    uint32_t Node = *It;
+    std::fill(Used.begin(), Used.end(), false);
+    for (uint32_t M : G.neighbors(Node))
+      if (Inserted[M] && R.ColorOf[M] >= 0)
+        Used[R.ColorOf[M]] = true;
+    int32_t Color = -1;
+    for (unsigned C = 0; C < K; ++C)
+      if (!Used[C]) {
+        Color = int32_t(C);
+        break;
+      }
+    if (Color < 0) {
+      assert(H != Heuristic::Chaitin &&
+             "Chaitin's stack nodes are always colorable");
+      R.Spilled.push_back(Node);
+      R.SpilledCost += G.node(Node).SpillCost;
+    } else {
+      R.ColorOf[Node] = Color;
+      R.NumColorsUsed = std::max(R.NumColorsUsed, unsigned(Color) + 1);
+    }
+    Inserted[Node] = true;
+  }
+  SelectTimer.stop();
+
+  R.SimplifySeconds = SimplifyTimer.seconds();
+  R.SelectSeconds = SelectTimer.seconds();
+  return R;
+}
+
+bool ra::isValidColoring(const InterferenceGraph &G, unsigned K,
+                         const ColoringResult &R) {
+  if (R.ColorOf.size() != G.numNodes())
+    return false;
+  for (uint32_t N = 0, E = G.numNodes(); N != E; ++N) {
+    int32_t C = R.ColorOf[N];
+    if (C >= int32_t(K))
+      return false;
+    if (C < 0)
+      continue;
+    for (uint32_t M : G.neighbors(N))
+      if (M > N && R.ColorOf[M] == C)
+        return false;
+  }
+  return true;
+}

@@ -1,0 +1,66 @@
+//===- regalloc/DegreeBuckets.cpp - Matula-Beck degree lists --------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/DegreeBuckets.h"
+
+using namespace ra;
+
+void DegreeBuckets::init(const std::vector<uint32_t> &Degrees) {
+  unsigned N = Degrees.size();
+  Degree = Degrees;
+  Next.assign(N, None);
+  Prev.assign(N, None);
+  Removed.assign(N, false);
+  uint32_t MaxDegree = 0;
+  for (uint32_t D : Degrees)
+    MaxDegree = std::max(MaxDegree, D);
+  Heads.assign(MaxDegree + 1, None);
+  Live = N;
+  // Insert in reverse id order so each list reads lowest-id-first.
+  for (uint32_t I = N; I-- > 0;)
+    pushFront(I, Degree[I]);
+}
+
+void DegreeBuckets::pushFront(uint32_t N, uint32_t D) {
+  Next[N] = Heads[D];
+  Prev[N] = None;
+  if (Heads[D] != None)
+    Prev[Heads[D]] = N;
+  Heads[D] = N;
+}
+
+void DegreeBuckets::detach(uint32_t N) {
+  uint32_t D = Degree[N];
+  if (Prev[N] != None)
+    Next[Prev[N]] = Next[N];
+  else
+    Heads[D] = Next[N];
+  if (Next[N] != None)
+    Prev[Next[N]] = Prev[N];
+  Next[N] = Prev[N] = None;
+}
+
+void DegreeBuckets::remove(uint32_t N) {
+  assert(!Removed[N] && "node removed twice");
+  detach(N);
+  Removed[N] = true;
+  --Live;
+}
+
+void DegreeBuckets::decrementDegree(uint32_t N) {
+  assert(!Removed[N] && "decrementing a removed node");
+  assert(Degree[N] > 0 && "degree underflow");
+  detach(N);
+  --Degree[N];
+  pushFront(N, Degree[N]);
+}
+
+uint32_t DegreeBuckets::lowestNonEmpty(uint32_t StartHint) const {
+  for (uint32_t D = StartHint, E = Heads.size(); D < E; ++D)
+    if (Heads[D] != None)
+      return D;
+  return None;
+}

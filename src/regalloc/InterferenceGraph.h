@@ -1,0 +1,99 @@
+//===- regalloc/InterferenceGraph.h - Interference graph -------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interference graph: nodes are live ranges, edges connect live
+/// ranges that are simultaneously live. Following Chaitin [CACC 81] the
+/// graph is kept in two forms at once — a triangular bit matrix for O(1)
+/// membership tests (used when adding edges and when coalescing) and
+/// adjacency vectors for iteration (used by simplify and select).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_REGALLOC_INTERFERENCEGRAPH_H
+#define RA_REGALLOC_INTERFERENCEGRAPH_H
+
+#include "support/TriangularBitMatrix.h"
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ra {
+
+/// Per-node allocator metadata.
+struct IGNode {
+  double SpillCost = 0;    ///< Chaitin's precomputed spill cost estimate.
+  bool NoSpill = false;    ///< Spill temporaries: never choose to spill.
+  uint32_t ExternalId = 0; ///< Client handle (vreg id for the allocator).
+  std::string Name;        ///< Debug label.
+};
+
+/// Undirected interference graph over dense node ids [0, numNodes()).
+class InterferenceGraph {
+public:
+  InterferenceGraph() = default;
+
+  explicit InterferenceGraph(unsigned NumNodes) { reset(NumNodes); }
+
+  /// Discards everything and allocates \p NumNodes isolated nodes.
+  void reset(unsigned NumNodes) {
+    Nodes.assign(NumNodes, IGNode());
+    Adj.assign(NumNodes, {});
+    Matrix.reset(NumNodes);
+    Edges = 0;
+  }
+
+  unsigned numNodes() const { return Nodes.size(); }
+  unsigned numEdges() const { return Edges; }
+
+  IGNode &node(unsigned N) {
+    assert(N < Nodes.size() && "node out of range");
+    return Nodes[N];
+  }
+  const IGNode &node(unsigned N) const {
+    assert(N < Nodes.size() && "node out of range");
+    return Nodes[N];
+  }
+
+  /// Adds the undirected edge {A, B} unless it exists or A == B.
+  /// Returns true iff a new edge was inserted.
+  bool addEdge(unsigned A, unsigned B) {
+    if (A == B)
+      return false;
+    if (!Matrix.testAndSet(A, B))
+      return false;
+    Adj[A].push_back(B);
+    Adj[B].push_back(A);
+    ++Edges;
+    return true;
+  }
+
+  bool interferes(unsigned A, unsigned B) const { return Matrix.test(A, B); }
+
+  const std::vector<uint32_t> &neighbors(unsigned N) const {
+    assert(N < Adj.size() && "node out of range");
+    return Adj[N];
+  }
+
+  /// Degree in the full (unsimplified) graph.
+  unsigned degree(unsigned N) const { return Adj[N].size(); }
+
+  /// Effectively-infinite spill cost for must-keep nodes.
+  static constexpr double InfiniteCost = std::numeric_limits<double>::max();
+
+private:
+  std::vector<IGNode> Nodes;
+  std::vector<std::vector<uint32_t>> Adj;
+  TriangularBitMatrix Matrix;
+  unsigned Edges = 0;
+};
+
+} // namespace ra
+
+#endif // RA_REGALLOC_INTERFERENCEGRAPH_H

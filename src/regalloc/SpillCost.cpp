@@ -1,0 +1,36 @@
+//===- regalloc/SpillCost.cpp - Loop-weighted spill estimates -------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/SpillCost.h"
+
+#include "regalloc/InterferenceGraph.h"
+
+using namespace ra;
+
+double ra::loopDepthWeight(unsigned Depth) {
+  double W = 1;
+  for (unsigned I = 0; I < Depth && I < 12; ++I)
+    W *= 10;
+  return W;
+}
+
+std::vector<double> ra::computeSpillCosts(const Function &F,
+                                          const LoopInfo &LI,
+                                          const CostModel &CM) {
+  std::vector<double> Cost(F.numVRegs(), 0);
+  for (const BasicBlock &B : F.blocks()) {
+    double W = loopDepthWeight(LI.depth(B.Id));
+    for (const Instruction &I : B.Insts) {
+      I.forEachUse([&](VRegId R) { Cost[R] += CM.spillLoadCost() * W; });
+      if (I.hasDef())
+        Cost[I.defReg()] += CM.spillStoreCost() * W;
+    }
+  }
+  for (VRegId R = 0; R < F.numVRegs(); ++R)
+    if (F.vreg(R).IsSpillTemp)
+      Cost[R] = InterferenceGraph::InfiniteCost;
+  return Cost;
+}

@@ -1,0 +1,36 @@
+//===- regalloc/SpillCost.h - Loop-weighted spill estimates ----*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaitin's spill cost estimate, as described in Section 2.1: "the
+/// number of loads and stores that would have to be inserted, weighted
+/// by the loop nesting depth of each insertion point". Each definition
+/// contributes one store and each use one load, weighted by
+/// 10^depth(block). Spill temporaries get an effectively infinite cost
+/// so re-spilling them never looks attractive and allocation converges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_REGALLOC_SPILLCOST_H
+#define RA_REGALLOC_SPILLCOST_H
+
+#include "analysis/LoopInfo.h"
+#include "target/CostModel.h"
+
+#include <vector>
+
+namespace ra {
+
+/// Per-vreg spill cost estimates for \p F.
+std::vector<double> computeSpillCosts(const Function &F, const LoopInfo &LI,
+                                      const CostModel &CM);
+
+/// The loop-depth weight: 10^depth, saturating to keep doubles exact.
+double loopDepthWeight(unsigned Depth);
+
+} // namespace ra
+
+#endif // RA_REGALLOC_SPILLCOST_H

@@ -1,0 +1,139 @@
+//===- regalloc/SpillInserter.cpp - Spill code insertion ------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/SpillInserter.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <optional>
+
+using namespace ra;
+
+namespace {
+
+/// If every definition of \p R in \p F is a mov of one identical
+/// constant, returns that defining instruction (to replicate at uses).
+std::optional<Instruction> rematerializableConstant(const Function &F,
+                                                    VRegId R) {
+  std::optional<Instruction> Def;
+  for (const BasicBlock &B : F.blocks()) {
+    for (const Instruction &I : B.Insts) {
+      if (!I.hasDef() || I.defReg() != R)
+        continue;
+      if (I.Op != Opcode::MovI && I.Op != Opcode::MovF)
+        return std::nullopt;
+      if (Def) {
+        // All defs must produce bit-identical constants.
+        if (Def->Op != I.Op)
+          return std::nullopt;
+        if (I.Op == Opcode::MovI && Def->Ops[1].Imm != I.Ops[1].Imm)
+          return std::nullopt;
+        if (I.Op == Opcode::MovF &&
+            std::memcmp(&Def->Ops[1].FImm, &I.Ops[1].FImm,
+                        sizeof(double)) != 0)
+          return std::nullopt;
+      } else {
+        Def = I;
+      }
+    }
+  }
+  return Def;
+}
+
+} // namespace
+
+SpillCodeStats ra::insertSpillCode(Function &F,
+                                   const std::vector<VRegId> &ToSpill,
+                                   bool Rematerialize) {
+  SpillCodeStats Stats;
+  if (ToSpill.empty())
+    return Stats;
+
+  // Constant ranges that can be recomputed instead of stored.
+  std::map<VRegId, Instruction> Remat;
+  if (Rematerialize)
+    for (VRegId R : ToSpill)
+      if (auto Def = rematerializableConstant(F, R)) {
+        Remat.emplace(R, *Def);
+        ++Stats.Remats;
+      }
+
+  // Assign one stack slot per genuinely spilled live range.
+  std::vector<int32_t> SlotOf(F.numVRegs(), -1);
+  for (VRegId R : ToSpill) {
+    if (Remat.count(R))
+      continue;
+    assert(SlotOf[R] < 0 && "live range spilled twice in one pass");
+    SlotOf[R] = int32_t(F.newSpillSlot(F.regClass(R)));
+  }
+
+  for (BasicBlock &B : F.blocks()) {
+    std::vector<Instruction> NewInsts;
+    NewInsts.reserve(B.Insts.size());
+    for (Instruction &I : B.Insts) {
+      // Definitions of rematerialized constants simply disappear: every
+      // use recomputes the value.
+      if (I.hasDef() && Remat.count(I.defReg()))
+        continue;
+
+      // Restore spilled operands into fresh temporaries before the use.
+      // Several uses of the same spilled range in one instruction share
+      // one restore (or one recompute).
+      std::vector<std::pair<VRegId, VRegId>> Restored; // (old, temp)
+      I.forEachUseOperand([&](Operand &O) {
+        VRegId R = O.Reg;
+        auto RematIt = Remat.find(R);
+        if (SlotOf[R] < 0 && RematIt == Remat.end())
+          return;
+        VRegId Temp = InvalidVReg;
+        for (const auto &[Old, T] : Restored)
+          if (Old == R)
+            Temp = T;
+        if (Temp == InvalidVReg) {
+          Temp = F.newVReg(F.regClass(R), F.vreg(R).Name + ".r",
+                           /*IsSpillTemp=*/true);
+          if (RematIt != Remat.end()) {
+            Instruction Recompute = RematIt->second;
+            Recompute.setDefReg(Temp);
+            NewInsts.push_back(std::move(Recompute));
+          } else {
+            NewInsts.push_back({Opcode::SpillLd,
+                                {Operand::reg(Temp),
+                                 Operand::intImm(SlotOf[R])}});
+            ++Stats.Loads;
+          }
+          Restored.push_back({R, Temp});
+        }
+        O = Operand::reg(Temp);
+      });
+
+      // Redirect a spilled definition into a temporary and store it to
+      // the slot right after.
+      bool StoreAfter = false;
+      int64_t StoreSlot = 0;
+      VRegId StoreTemp = InvalidVReg;
+      if (I.hasDef() && SlotOf[I.defReg()] >= 0) {
+        VRegId R = I.defReg();
+        StoreTemp = F.newVReg(F.regClass(R), F.vreg(R).Name + ".s",
+                              /*IsSpillTemp=*/true);
+        StoreSlot = SlotOf[R];
+        I.setDefReg(StoreTemp);
+        StoreAfter = true;
+      }
+
+      NewInsts.push_back(std::move(I));
+      if (StoreAfter) {
+        NewInsts.push_back({Opcode::SpillSt,
+                            {Operand::reg(StoreTemp),
+                             Operand::intImm(StoreSlot)}});
+        ++Stats.Stores;
+      }
+    }
+    B.Insts = std::move(NewInsts);
+  }
+  return Stats;
+}

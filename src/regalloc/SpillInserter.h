@@ -1,0 +1,48 @@
+//===- regalloc/SpillInserter.h - Spill code insertion ---------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inserts spill code for live ranges chosen by a coloring heuristic:
+/// "the value is stored to memory after each definition and restored
+/// before each use" (Section 2.1). Each insertion introduces a tiny new
+/// live range (a spill temporary), which is why the Build-Simplify-Color
+/// cycle must repeat — and why it converges: the temporaries span only a
+/// single instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_REGALLOC_SPILLINSERTER_H
+#define RA_REGALLOC_SPILLINSERTER_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ra {
+
+/// Counts of inserted spill traffic.
+struct SpillCodeStats {
+  unsigned Loads = 0;  ///< spill.ld instructions inserted.
+  unsigned Stores = 0; ///< spill.st instructions inserted.
+  unsigned Remats = 0; ///< ranges rematerialized instead of spilled.
+};
+
+/// Rewrites \p F so that every live range in \p ToSpill lives in a
+/// fresh stack slot: stores after defs, loads before uses, through
+/// single-instruction spill temporaries.
+///
+/// With \p Rematerialize set, a spilled range whose every definition
+/// loads the same constant is never stored at all: each use recomputes
+/// the constant with a fresh mov (one of the refinements Chaitin
+/// sketches and later allocators made standard). Constant reloads cost
+/// one cycle instead of a memory round trip.
+SpillCodeStats insertSpillCode(Function &F,
+                               const std::vector<VRegId> &ToSpill,
+                               bool Rematerialize = false);
+
+} // namespace ra
+
+#endif // RA_REGALLOC_SPILLINSERTER_H

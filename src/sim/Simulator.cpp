@@ -1,0 +1,258 @@
+//===- sim/Simulator.cpp - Cycle-counting IR interpreter ------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ra;
+
+MemoryImage::MemoryImage(const Module &M) {
+  IntData.resize(M.numArrays());
+  FloatData.resize(M.numArrays());
+  for (uint32_t A = 0; A < M.numArrays(); ++A) {
+    const ArrayInfo &AI = M.array(A);
+    if (AI.Elem == RegClass::Int)
+      IntData[A].assign(AI.Size, 0);
+    else
+      FloatData[A].assign(AI.Size, 0.0);
+  }
+}
+
+std::vector<int64_t> &MemoryImage::intArray(uint32_t Id) {
+  assert(Id < IntData.size() && "array id out of range");
+  return IntData[Id];
+}
+std::vector<double> &MemoryImage::floatArray(uint32_t Id) {
+  assert(Id < FloatData.size() && "array id out of range");
+  return FloatData[Id];
+}
+const std::vector<int64_t> &MemoryImage::intArray(uint32_t Id) const {
+  assert(Id < IntData.size() && "array id out of range");
+  return IntData[Id];
+}
+const std::vector<double> &MemoryImage::floatArray(uint32_t Id) const {
+  assert(Id < FloatData.size() && "array id out of range");
+  return FloatData[Id];
+}
+
+ExecutionResult Simulator::runVirtual(const Function &F, MemoryImage &Mem,
+                                      uint64_t MaxInstructions) const {
+  return run(F, Mem, nullptr, MaxInstructions);
+}
+
+ExecutionResult Simulator::runAllocated(const Function &F,
+                                        const AllocationResult &A,
+                                        MemoryImage &Mem,
+                                        uint64_t MaxInstructions) const {
+  assert(A.Success && "cannot execute a failed allocation");
+  assert(A.ColorOf.size() == F.numVRegs() &&
+         "allocation does not match this function");
+  return run(F, Mem, &A, MaxInstructions);
+}
+
+ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
+                               const AllocationResult *A,
+                               uint64_t MaxInstructions) const {
+  ExecutionResult R;
+
+  // Register files. Virtual mode sizes them by the vreg count; allocated
+  // mode by the machine's files, with operands mapped through ColorOf.
+  unsigned IntFile = A ? A->Machine.numRegs(RegClass::Int) : F.numVRegs();
+  unsigned FltFile = A ? A->Machine.numRegs(RegClass::Float) : F.numVRegs();
+  std::vector<int64_t> IntRegs(IntFile, 0);
+  std::vector<double> FltRegs(FltFile, 0.0);
+  std::vector<int64_t> IntSlots(F.numSpillSlots(), 0);
+  std::vector<double> FltSlots(F.numSpillSlots(), 0.0);
+
+  auto Loc = [&](VRegId V) -> unsigned {
+    if (!A)
+      return V;
+    assert(A->ColorOf[V] >= 0 && "executing an unallocated register");
+    return unsigned(A->ColorOf[V]);
+  };
+  auto IReg = [&](const Operand &O) -> int64_t & {
+    return IntRegs[Loc(O.Reg)];
+  };
+  auto FReg = [&](const Operand &O) -> double & {
+    return FltRegs[Loc(O.Reg)];
+  };
+
+  auto Trap = [&R](const std::string &Msg) {
+    R.Ok = false;
+    R.Error = Msg;
+  };
+
+  uint32_t Block = F.entry();
+  size_t Idx = 0;
+  while (true) {
+    if (R.Instructions >= MaxInstructions) {
+      Trap("instruction budget exhausted (possible infinite loop)");
+      return R;
+    }
+    assert(Idx < F.block(Block).Insts.size() && "fell off a block");
+    const Instruction &I = F.block(Block).Insts[Idx];
+    ++R.Instructions;
+    R.Cycles += CM.cycles(I.Op);
+    ++Idx;
+
+    switch (I.Op) {
+    case Opcode::MovI:
+      IReg(I.Ops[0]) = I.Ops[1].Imm;
+      break;
+    case Opcode::MovF:
+      FReg(I.Ops[0]) = I.Ops[1].FImm;
+      break;
+    case Opcode::Copy:
+      if (F.regClass(I.Ops[0].Reg) == RegClass::Int)
+        IReg(I.Ops[0]) = IReg(I.Ops[1]);
+      else
+        FReg(I.Ops[0]) = FReg(I.Ops[1]);
+      break;
+    case Opcode::Add:
+      IReg(I.Ops[0]) = IReg(I.Ops[1]) + IReg(I.Ops[2]);
+      break;
+    case Opcode::Sub:
+      IReg(I.Ops[0]) = IReg(I.Ops[1]) - IReg(I.Ops[2]);
+      break;
+    case Opcode::Mul:
+      IReg(I.Ops[0]) = IReg(I.Ops[1]) * IReg(I.Ops[2]);
+      break;
+    case Opcode::Div: {
+      int64_t D = IReg(I.Ops[2]);
+      if (D == 0) {
+        Trap("integer division by zero");
+        return R;
+      }
+      IReg(I.Ops[0]) = IReg(I.Ops[1]) / D;
+      break;
+    }
+    case Opcode::Rem: {
+      int64_t D = IReg(I.Ops[2]);
+      if (D == 0) {
+        Trap("integer remainder by zero");
+        return R;
+      }
+      IReg(I.Ops[0]) = IReg(I.Ops[1]) % D;
+      break;
+    }
+    case Opcode::AddI:
+      IReg(I.Ops[0]) = IReg(I.Ops[1]) + I.Ops[2].Imm;
+      break;
+    case Opcode::MulI:
+      IReg(I.Ops[0]) = IReg(I.Ops[1]) * I.Ops[2].Imm;
+      break;
+    case Opcode::FAdd:
+      FReg(I.Ops[0]) = FReg(I.Ops[1]) + FReg(I.Ops[2]);
+      break;
+    case Opcode::FSub:
+      FReg(I.Ops[0]) = FReg(I.Ops[1]) - FReg(I.Ops[2]);
+      break;
+    case Opcode::FMul:
+      FReg(I.Ops[0]) = FReg(I.Ops[1]) * FReg(I.Ops[2]);
+      break;
+    case Opcode::FDiv:
+      FReg(I.Ops[0]) = FReg(I.Ops[1]) / FReg(I.Ops[2]);
+      break;
+    case Opcode::FNeg:
+      FReg(I.Ops[0]) = -FReg(I.Ops[1]);
+      break;
+    case Opcode::FAbs:
+      FReg(I.Ops[0]) = std::fabs(FReg(I.Ops[1]));
+      break;
+    case Opcode::FSqrt: {
+      double V = FReg(I.Ops[1]);
+      if (V < 0) {
+        Trap("square root of a negative value");
+        return R;
+      }
+      FReg(I.Ops[0]) = std::sqrt(V);
+      break;
+    }
+    case Opcode::IToF:
+      FReg(I.Ops[0]) = double(IReg(I.Ops[1]));
+      break;
+    case Opcode::FToI:
+      IReg(I.Ops[0]) = int64_t(FReg(I.Ops[1]));
+      break;
+    case Opcode::Load:
+    case Opcode::FLoad: {
+      uint32_t Arr = I.Ops[1].Array;
+      int64_t Index = IReg(I.Ops[2]);
+      if (Index < 0 || uint64_t(Index) >= M.array(Arr).Size) {
+        Trap("load index out of bounds in @" + M.array(Arr).Name);
+        return R;
+      }
+      if (I.Op == Opcode::Load)
+        IReg(I.Ops[0]) = Mem.intArray(Arr)[Index];
+      else
+        FReg(I.Ops[0]) = Mem.floatArray(Arr)[Index];
+      break;
+    }
+    case Opcode::Store:
+    case Opcode::FStore: {
+      uint32_t Arr = I.Ops[1].Array;
+      int64_t Index = IReg(I.Ops[2]);
+      if (Index < 0 || uint64_t(Index) >= M.array(Arr).Size) {
+        Trap("store index out of bounds in @" + M.array(Arr).Name);
+        return R;
+      }
+      if (I.Op == Opcode::Store)
+        Mem.intArray(Arr)[Index] = IReg(I.Ops[0]);
+      else
+        Mem.floatArray(Arr)[Index] = FReg(I.Ops[0]);
+      break;
+    }
+    case Opcode::SpillLd: {
+      R.SpillCycles += CM.cycles(I.Op);
+      ++R.SpillOps;
+      unsigned Slot = unsigned(I.Ops[1].Imm);
+      if (F.regClass(I.Ops[0].Reg) == RegClass::Int)
+        IReg(I.Ops[0]) = IntSlots[Slot];
+      else
+        FReg(I.Ops[0]) = FltSlots[Slot];
+      break;
+    }
+    case Opcode::SpillSt: {
+      R.SpillCycles += CM.cycles(I.Op);
+      ++R.SpillOps;
+      unsigned Slot = unsigned(I.Ops[1].Imm);
+      if (F.regClass(I.Ops[0].Reg) == RegClass::Int)
+        IntSlots[Slot] = IReg(I.Ops[0]);
+      else
+        FltSlots[Slot] = FReg(I.Ops[0]);
+      break;
+    }
+    case Opcode::Br: {
+      bool Taken;
+      if (F.regClass(I.Ops[0].Reg) == RegClass::Int)
+        Taken = evalCmp(I.Cmp, IReg(I.Ops[0]), IReg(I.Ops[1]));
+      else
+        Taken = evalCmp(I.Cmp, FReg(I.Ops[0]), FReg(I.Ops[1]));
+      Block = Taken ? I.Ops[2].Block : I.Ops[3].Block;
+      Idx = 0;
+      break;
+    }
+    case Opcode::Jmp:
+      Block = I.Ops[0].Block;
+      Idx = 0;
+      break;
+    case Opcode::Ret:
+      if (I.Ops.size() == 1) {
+        if (F.regClass(I.Ops[0].Reg) == RegClass::Int) {
+          R.HasIntReturn = true;
+          R.IntReturn = IReg(I.Ops[0]);
+        } else {
+          R.HasFloatReturn = true;
+          R.FloatReturn = FReg(I.Ops[0]);
+        }
+      }
+      R.Ok = true;
+      return R;
+    }
+  }
+}

@@ -1,0 +1,97 @@
+//===- sim/Simulator.h - Cycle-counting IR interpreter ---------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes IR functions against typed array memory, counting cycles
+/// with the target cost model. Two modes:
+///
+///  * virtual  — registers are the vreg table itself (pre-allocation
+///    golden runs);
+///  * allocated — every register operand is mapped through an
+///    AllocationResult onto the target's finite register files, and
+///    spill slots become real memory.
+///
+/// Running the same program in both modes and comparing array memory and
+/// return values validates an allocation end-to-end; comparing cycle
+/// counts between two allocators yields the paper's dynamic columns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_SIM_SIMULATOR_H
+#define RA_SIM_SIMULATOR_H
+
+#include "ir/Module.h"
+#include "regalloc/Allocator.h"
+#include "target/CostModel.h"
+
+#include <string>
+#include <vector>
+
+namespace ra {
+
+/// Typed storage for every array in a module.
+class MemoryImage {
+public:
+  /// Allocates zero-initialized storage shaped like \p M's arrays.
+  explicit MemoryImage(const Module &M);
+
+  std::vector<int64_t> &intArray(uint32_t Id);
+  std::vector<double> &floatArray(uint32_t Id);
+  const std::vector<int64_t> &intArray(uint32_t Id) const;
+  const std::vector<double> &floatArray(uint32_t Id) const;
+
+  /// Exact (bitwise) equality of all array contents.
+  bool operator==(const MemoryImage &Other) const {
+    return IntData == Other.IntData && FloatData == Other.FloatData;
+  }
+
+private:
+  // Indexed by array id; the unused class's vector stays empty.
+  std::vector<std::vector<int64_t>> IntData;
+  std::vector<std::vector<double>> FloatData;
+};
+
+/// Outcome of one simulated run.
+struct ExecutionResult {
+  bool Ok = false;
+  std::string Error;             ///< Trap reason when !Ok.
+  uint64_t Cycles = 0;           ///< Total cost-model cycles.
+  uint64_t Instructions = 0;     ///< Instructions executed.
+  uint64_t SpillCycles = 0;      ///< Cycles spent in spill.ld/spill.st.
+  uint64_t SpillOps = 0;         ///< Spill instructions executed.
+  bool HasIntReturn = false, HasFloatReturn = false;
+  int64_t IntReturn = 0;
+  double FloatReturn = 0;
+};
+
+/// Interprets functions of one module.
+class Simulator {
+public:
+  Simulator(const Module &M, CostModel CM = CostModel::rtpc())
+      : M(M), CM(CM) {}
+
+  /// Runs \p F over virtual registers.
+  ExecutionResult runVirtual(const Function &F, MemoryImage &Mem,
+                             uint64_t MaxInstructions = 1ull << 32) const;
+
+  /// Runs \p F with registers mapped through \p A onto physical files.
+  /// \p A must come from allocating exactly this (rewritten) function.
+  ExecutionResult runAllocated(const Function &F, const AllocationResult &A,
+                               MemoryImage &Mem,
+                               uint64_t MaxInstructions = 1ull << 32) const;
+
+private:
+  ExecutionResult run(const Function &F, MemoryImage &Mem,
+                      const AllocationResult *A,
+                      uint64_t MaxInstructions) const;
+
+  const Module &M;
+  CostModel CM;
+};
+
+} // namespace ra
+
+#endif // RA_SIM_SIMULATOR_H

@@ -1,0 +1,102 @@
+//===- support/BitVector.cpp - Dense dynamic bit set ----------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include <algorithm>
+
+using namespace ra;
+
+void BitVector::resize(unsigned NewSize, bool Value) {
+  unsigned NewWords = (NewSize + WordBits - 1) / WordBits;
+  WordType Fill = Value ? ~WordType(0) : 0;
+  if (Value && NumBits < NewSize && NumBits % WordBits != 0) {
+    // Set the tail bits of the current last word that become live.
+    Words[NumBits / WordBits] |= Fill << (NumBits % WordBits);
+  }
+  Words.resize(NewWords, Fill);
+  NumBits = NewSize;
+  clearUnusedBits();
+}
+
+void BitVector::clearAll() { std::fill(Words.begin(), Words.end(), 0); }
+
+void BitVector::setAll() {
+  std::fill(Words.begin(), Words.end(), ~WordType(0));
+  clearUnusedBits();
+}
+
+void BitVector::clearUnusedBits() {
+  unsigned Tail = NumBits % WordBits;
+  if (Tail != 0 && !Words.empty())
+    Words.back() &= (WordType(1) << Tail) - 1;
+}
+
+unsigned BitVector::count() const {
+  unsigned N = 0;
+  for (WordType W : Words)
+    N += __builtin_popcountll(W);
+  return N;
+}
+
+bool BitVector::none() const {
+  for (WordType W : Words)
+    if (W)
+      return false;
+  return true;
+}
+
+bool BitVector::unionWith(const BitVector &Other) {
+  assert(NumBits == Other.NumBits && "size mismatch");
+  bool Changed = false;
+  for (unsigned I = 0, E = Words.size(); I != E; ++I) {
+    WordType Merged = Words[I] | Other.Words[I];
+    Changed |= Merged != Words[I];
+    Words[I] = Merged;
+  }
+  return Changed;
+}
+
+void BitVector::intersectWith(const BitVector &Other) {
+  assert(NumBits == Other.NumBits && "size mismatch");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= Other.Words[I];
+}
+
+void BitVector::subtract(const BitVector &Other) {
+  assert(NumBits == Other.NumBits && "size mismatch");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= ~Other.Words[I];
+}
+
+bool BitVector::intersects(const BitVector &Other) const {
+  assert(NumBits == Other.NumBits && "size mismatch");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    if (Words[I] & Other.Words[I])
+      return true;
+  return false;
+}
+
+int BitVector::findFirst() const {
+  for (unsigned W = 0, E = Words.size(); W != E; ++W)
+    if (Words[W])
+      return W * WordBits + __builtin_ctzll(Words[W]);
+  return -1;
+}
+
+int BitVector::findNext(unsigned Prev) const {
+  unsigned Idx = Prev + 1;
+  if (Idx >= NumBits)
+    return -1;
+  unsigned W = Idx / WordBits;
+  WordType Word = Words[W] >> (Idx % WordBits);
+  if (Word)
+    return Idx + __builtin_ctzll(Word);
+  for (++W; W < Words.size(); ++W)
+    if (Words[W])
+      return W * WordBits + __builtin_ctzll(Words[W]);
+  return -1;
+}

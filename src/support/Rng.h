@@ -1,0 +1,74 @@
+//===- support/Rng.h - Deterministic PRNG ----------------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic PRNG (xorshift128+) so property tests, random
+/// program generation, and benchmark workloads are reproducible across
+/// platforms and standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_SUPPORT_RNG_H
+#define RA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ra {
+
+/// xorshift128+ generator with splitmix64 seeding.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the two state words.
+    auto Mix = [&Seed]() {
+      Seed += 0x9E3779B97F4A7C15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Mix();
+    S1 = Mix();
+    if (S0 == 0 && S1 == 0)
+      S1 = 1;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + int64_t(nextBelow(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return double(next() >> 11) * 0x1.0p-53; }
+
+  /// True with probability \p P (clamped to [0,1]).
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace ra
+
+#endif // RA_SUPPORT_RNG_H

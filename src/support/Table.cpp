@@ -1,0 +1,124 @@
+//===- support/Table.cpp - ASCII table printer ----------------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ra;
+
+Table::Table(std::vector<std::string> Headers, std::vector<Align> Alignments)
+    : Headers(std::move(Headers)), Alignments(std::move(Alignments)) {
+  // Default alignment: first column left (names), the rest right (numbers).
+  if (this->Alignments.empty()) {
+    this->Alignments.assign(this->Headers.size(), Align::Right);
+    if (!this->Alignments.empty())
+      this->Alignments.front() = Align::Left;
+  }
+  assert(this->Alignments.size() == this->Headers.size() &&
+         "one alignment per column");
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Headers.size() && "row wider than the header");
+  Cells.resize(Headers.size());
+  Rows.push_back({false, std::move(Cells)});
+}
+
+void Table::addSeparator() { Rows.push_back({true, {}}); }
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      continue;
+    for (size_t C = 0; C < R.Cells.size(); ++C)
+      Widths[C] = std::max(Widths[C], R.Cells[C].size());
+  }
+
+  auto EmitCell = [&](std::string &Out, const std::string &Cell, size_t C) {
+    size_t Pad = Widths[C] - Cell.size();
+    if (Alignments[C] == Align::Right)
+      Out.append(Pad, ' ');
+    Out += Cell;
+    if (Alignments[C] == Align::Left)
+      Out.append(Pad, ' ');
+  };
+
+  auto EmitSeparator = [&](std::string &Out) {
+    for (size_t C = 0; C < Widths.size(); ++C) {
+      Out += (C == 0 ? "+" : "+");
+      Out.append(Widths[C] + 2, '-');
+    }
+    Out += "+\n";
+  };
+
+  std::string Out;
+  EmitSeparator(Out);
+  Out += "|";
+  for (size_t C = 0; C < Headers.size(); ++C) {
+    Out += ' ';
+    EmitCell(Out, Headers[C], C);
+    Out += " |";
+  }
+  Out += "\n";
+  EmitSeparator(Out);
+  for (const Row &R : Rows) {
+    if (R.IsSeparator) {
+      EmitSeparator(Out);
+      continue;
+    }
+    Out += "|";
+    for (size_t C = 0; C < R.Cells.size(); ++C) {
+      Out += ' ';
+      EmitCell(Out, R.Cells[C], C);
+      Out += " |";
+    }
+    Out += "\n";
+  }
+  EmitSeparator(Out);
+  return Out;
+}
+
+void Table::print() const {
+  std::string S = render();
+  std::fwrite(S.data(), 1, S.size(), stdout);
+}
+
+std::string Table::withCommas(int64_t Value) {
+  bool Negative = Value < 0;
+  uint64_t Magnitude = Negative ? uint64_t(-(Value + 1)) + 1 : uint64_t(Value);
+  std::string Digits = std::to_string(Magnitude);
+  std::string Out;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Out += ',';
+    Out += *It;
+    ++Count;
+  }
+  if (Negative)
+    Out += '-';
+  return std::string(Out.rbegin(), Out.rend());
+}
+
+std::string Table::fixed(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string Table::pctImprovement(double Old, double New) {
+  if (Old == 0)
+    return "0";
+  double Pct = 100.0 * (Old - New) / Old;
+  return std::to_string(int64_t(std::llround(Pct)));
+}

@@ -1,0 +1,66 @@
+//===- support/Table.h - ASCII table printer -------------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned ASCII table printer used by the benchmark harnesses to
+/// regenerate the paper's Figures 5, 6 and 7 as readable console tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_SUPPORT_TABLE_H
+#define RA_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ra {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+public:
+  enum class Align { Left, Right };
+
+  /// \p Headers names the columns; every row must have the same arity.
+  explicit Table(std::vector<std::string> Headers,
+                 std::vector<Align> Alignments = {});
+
+  /// Appends one row. Missing cells render empty; extra cells assert.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line at the current position.
+  void addSeparator();
+
+  /// Renders the whole table, including the header, to a string.
+  std::string render() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  /// Formats a number with thousands separators: 596713 -> "596,713".
+  static std::string withCommas(int64_t Value);
+
+  /// Formats \p Value with \p Digits digits after the decimal point.
+  static std::string fixed(double Value, int Digits);
+
+  /// Formats the paper's "Pct." column: 100*(Old-New)/Old rounded to the
+  /// nearest integer, or "0" when Old is zero.
+  static std::string pctImprovement(double Old, double New);
+
+private:
+  struct Row {
+    bool IsSeparator = false;
+    std::vector<std::string> Cells;
+  };
+
+  std::vector<std::string> Headers;
+  std::vector<Align> Alignments;
+  std::vector<Row> Rows;
+};
+
+} // namespace ra
+
+#endif // RA_SUPPORT_TABLE_H

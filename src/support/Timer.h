@@ -1,0 +1,67 @@
+//===- support/Timer.h - Phase timing ---------------------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock stopwatch used to reproduce the per-phase CPU times of the
+/// paper's Figure 7 (the original used a 60 Hz clock; we use steady_clock).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_SUPPORT_TIMER_H
+#define RA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace ra {
+
+/// Accumulating stopwatch.
+class Timer {
+public:
+  /// Starts (or restarts) the stopwatch.
+  void start() { Begin = Clock::now(); Running = true; }
+
+  /// Stops and adds the elapsed interval to the accumulated total.
+  void stop() {
+    if (!Running)
+      return;
+    Accumulated += Clock::now() - Begin;
+    Running = false;
+  }
+
+  /// Accumulated time in seconds (excludes a currently running interval).
+  double seconds() const {
+    return std::chrono::duration<double>(Accumulated).count();
+  }
+
+  /// Discards all accumulated time.
+  void reset() {
+    Accumulated = Clock::duration::zero();
+    Running = false;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Begin;
+  Clock::duration Accumulated = Clock::duration::zero();
+  bool Running = false;
+};
+
+/// RAII helper that runs \c start() on construction and \c stop() on
+/// destruction.
+class TimerScope {
+public:
+  explicit TimerScope(Timer &T) : T(T) { T.start(); }
+  ~TimerScope() { T.stop(); }
+  TimerScope(const TimerScope &) = delete;
+  TimerScope &operator=(const TimerScope &) = delete;
+
+private:
+  Timer &T;
+};
+
+} // namespace ra
+
+#endif // RA_SUPPORT_TIMER_H

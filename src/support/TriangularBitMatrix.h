@@ -1,0 +1,75 @@
+//===- support/TriangularBitMatrix.h - Symmetric bit matrix ----*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lower-triangular bit matrix for symmetric relations over node ids.
+/// Chaitin's allocator keeps the interference relation in exactly this
+/// shape for O(1) membership tests, alongside adjacency vectors for
+/// iteration [CACC 81]; we reuse the structure here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_SUPPORT_TRIANGULARBITMATRIX_H
+#define RA_SUPPORT_TRIANGULARBITMATRIX_H
+
+#include "support/BitVector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ra {
+
+/// Symmetric boolean relation over {0, ..., N-1} stored as the strictly
+/// lower triangle of an N x N bit matrix. The diagonal is not stored:
+/// a node never relates to itself.
+class TriangularBitMatrix {
+public:
+  TriangularBitMatrix() = default;
+
+  explicit TriangularBitMatrix(unsigned NumNodes) { reset(NumNodes); }
+
+  /// Discards all pairs and resizes to \p NumNodes nodes.
+  void reset(unsigned NumNodes) {
+    N = NumNodes;
+    Bits = BitVector(N < 2 ? 0 : N * (N - 1) / 2);
+  }
+
+  unsigned numNodes() const { return N; }
+
+  /// Marks the unordered pair {A, B}. A must differ from B.
+  void set(unsigned A, unsigned B) { Bits.set(index(A, B)); }
+
+  /// Clears the unordered pair {A, B}.
+  void clear(unsigned A, unsigned B) { Bits.reset(index(A, B)); }
+
+  /// True iff the unordered pair {A, B} is marked. A == B returns false.
+  bool test(unsigned A, unsigned B) const {
+    if (A == B)
+      return false;
+    return Bits.test(index(A, B));
+  }
+
+  /// Marks {A, B}; returns true iff the pair was previously clear.
+  bool testAndSet(unsigned A, unsigned B) {
+    return Bits.testAndSet(index(A, B));
+  }
+
+private:
+  /// Maps an unordered pair to its bit position in the lower triangle.
+  unsigned index(unsigned A, unsigned B) const {
+    assert(A != B && "no self edges in a triangular matrix");
+    assert(A < N && B < N && "node id out of range");
+    unsigned Hi = std::max(A, B), Lo = std::min(A, B);
+    return Hi * (Hi - 1) / 2 + Lo;
+  }
+
+  unsigned N = 0;
+  BitVector Bits;
+};
+
+} // namespace ra
+
+#endif // RA_SUPPORT_TRIANGULARBITMATRIX_H

@@ -1,0 +1,54 @@
+//===- support/UnionFind.cpp - Disjoint-set forest ------------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/UnionFind.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace ra;
+
+void UnionFind::reset(unsigned NumElements) {
+  Parent.resize(NumElements);
+  std::iota(Parent.begin(), Parent.end(), 0);
+  Rank.assign(NumElements, 0);
+  NumSets = NumElements;
+}
+
+unsigned UnionFind::grow() {
+  unsigned Id = Parent.size();
+  Parent.push_back(Id);
+  Rank.push_back(0);
+  ++NumSets;
+  return Id;
+}
+
+unsigned UnionFind::find(unsigned X) {
+  assert(X < Parent.size() && "element out of range");
+  unsigned Root = X;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression.
+  while (Parent[X] != Root) {
+    unsigned Next = Parent[X];
+    Parent[X] = Root;
+    X = Next;
+  }
+  return Root;
+}
+
+unsigned UnionFind::unite(unsigned A, unsigned B) {
+  unsigned RA = find(A), RB = find(B);
+  if (RA == RB)
+    return RA;
+  if (Rank[RA] < Rank[RB])
+    std::swap(RA, RB);
+  Parent[RB] = RA;
+  if (Rank[RA] == Rank[RB])
+    ++Rank[RA];
+  --NumSets;
+  return RA;
+}

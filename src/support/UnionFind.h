@@ -1,0 +1,56 @@
+//===- support/UnionFind.h - Disjoint-set forest ---------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disjoint-set forest with union by rank and path compression. Used by
+/// the live-range renumbering pass (def-use webs) and by copy coalescing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_SUPPORT_UNIONFIND_H
+#define RA_SUPPORT_UNIONFIND_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ra {
+
+/// Disjoint sets over the dense id range [0, size()).
+class UnionFind {
+public:
+  UnionFind() = default;
+
+  explicit UnionFind(unsigned NumElements) { reset(NumElements); }
+
+  /// Re-initializes to \p NumElements singleton sets.
+  void reset(unsigned NumElements);
+
+  unsigned size() const { return Parent.size(); }
+
+  /// Appends one new singleton set and returns its id.
+  unsigned grow();
+
+  /// Representative of the set containing \p X (with path compression).
+  unsigned find(unsigned X);
+
+  /// Merges the sets of \p A and \p B; returns the new representative.
+  unsigned unite(unsigned A, unsigned B);
+
+  /// True iff \p A and \p B are in the same set.
+  bool connected(unsigned A, unsigned B) { return find(A) == find(B); }
+
+  /// Number of distinct sets remaining.
+  unsigned numSets() const { return NumSets; }
+
+private:
+  std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+  unsigned NumSets = 0;
+};
+
+} // namespace ra
+
+#endif // RA_SUPPORT_UNIONFIND_H

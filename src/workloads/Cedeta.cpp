@@ -1,0 +1,324 @@
+//===- workloads/Cedeta.cpp - CEDETA optimization routines ----------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Reconstruction of the CEDETA routines (Celis-Dennis-Tapia equality
+// constrained minimization): DQRDC, a Householder QR with column
+// pivoting in the LINPACK mold, and the two very large derivative
+// evaluators GRADNT and HSSIAN. The paper's GRADNT/HSSIAN are ~15 KB of
+// object code with 1274/1552 live ranges — machine-generated-looking
+// chains of floating assignments inside loop nests. We generate the
+// same shape: blocks of windowed expression chains over a shared
+// coefficient table, so hundreds of overlapping live ranges arise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/KernelBuilder.h"
+
+using namespace ra;
+
+namespace {
+constexpr int64_t Qn = 24, Qp = 12, QLd = Qn; ///< DQRDC shape
+constexpr int64_t NP = 64;                    ///< GRADNT/HSSIAN points
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// DQRDC — Householder QR with column pivoting.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDQRDC(Module &M) {
+  uint32_t A = M.newArray("a", QLd * Qp, RegClass::Float);
+  uint32_t Qraux = M.newArray("qraux", Qp, RegClass::Float);
+  uint32_t Jpvt = M.newArray("jpvt", Qp, RegClass::Int);
+  Function &F = M.newFunction("DQRDC");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(Qn, "n");
+  VRegId P = B.constI(Qp, "p");
+  // Entry coefficient block: live across the norms loop and the sweep.
+  VRegId FZero = B.constF(0.0, "fzero");
+  VRegId One = B.constF(1.0, "one");
+  VRegId WgtQ = B.constF(1.01, "wgtq");
+  VRegId DmpQ = B.constF(0.98, "dmpq");
+  VRegId EpsQ = B.constF(1.0e-12, "epsq");
+  VRegId HalfQ = B.constF(0.5, "halfq");
+
+  VRegId I = B.iReg("i"), J = B.iReg("j"), L = B.iReg("l");
+
+  // Initial column norms, two rows per trip (staggered temporaries,
+  // cheap to spill — the Figure 3 shape).
+  auto NormJ = B.forLoop("norms", J, 0, P);
+  {
+    VRegId S = B.fReg("s");
+    B.movF(0.0, S);
+    auto NormI = B.forLoop("norms.i", I, 0, N, 2);
+    {
+      VRegId Ip1 = B.addI(I, 1);
+      VRegId Ta = B.load2D(A, I, J, QLd);
+      VRegId Tb = B.load2D(A, Ip1, J, QLd);
+      VRegId Sq = B.fmul(Ta, Ta);
+      VRegId Sq2 = B.fmul(Tb, Tb);
+      B.fadd(S, B.fadd(Sq, Sq2), S);
+    }
+    B.endDo(NormI);
+    B.store(Qraux, J, B.fsqrt(S));
+    B.store(Jpvt, J, J);
+  }
+  B.endDo(NormJ);
+
+  // Householder sweep with column pivoting.
+  auto Ll = B.forLoop("sweep", L, 0, P);
+  {
+    // Pick the column with the largest remaining norm.
+    VRegId MaxJ = B.iReg("maxj");
+    B.copy(L, MaxJ);
+    VRegId MaxNorm = B.fReg("maxnorm");
+    B.copy(B.load(Qraux, L), MaxNorm);
+    VRegId Lp1 = B.addI(L, 1);
+    auto Pick = B.forLoopReg("pick", J, Lp1, P);
+    {
+      VRegId Nj = B.load(Qraux, J);
+      auto Wider = B.ifCmp(CmpKind::GT, Nj, MaxNorm, "wider");
+      B.copy(Nj, MaxNorm);
+      B.copy(J, MaxJ);
+      B.endIf(Wider);
+    }
+    B.endDo(Pick);
+
+    // Swap columns l and maxj.
+    auto NeedSwap = B.ifCmp(CmpKind::NE, MaxJ, L, "colswap");
+    {
+      auto Sw = B.forLoop("colswap.i", I, 0, N);
+      VRegId Tl = B.load2D(A, I, L, QLd);
+      VRegId Tm = B.load2D(A, I, MaxJ, QLd);
+      B.store2D(A, I, L, QLd, Tm);
+      B.store2D(A, I, MaxJ, QLd, Tl);
+      B.endDo(Sw);
+      VRegId Ql = B.load(Qraux, L);
+      B.store(Qraux, L, B.load(Qraux, MaxJ));
+      B.store(Qraux, MaxJ, Ql);
+      VRegId Pl = B.load(Jpvt, L);
+      B.store(Jpvt, L, B.load(Jpvt, MaxJ));
+      B.store(Jpvt, MaxJ, Pl);
+    }
+    B.endIf(NeedSwap);
+
+    // Householder reflection on column l.
+    VRegId Nrm2 = B.fReg("nrm2");
+    B.movF(0.0, Nrm2);
+    auto Sq = B.forLoopReg("house.sq", I, L, N);
+    VRegId T = B.load2D(A, I, L, QLd);
+    B.fadd(Nrm2, B.fmul(T, T), Nrm2);
+    B.endDo(Sq);
+    VRegId NrmXl = B.fsqrt(Nrm2, B.fReg("nrmxl"));
+
+    auto Live = B.ifCmp(CmpKind::GT, NrmXl, FZero, "live");
+    {
+      VRegId All = B.load2D(A, L, L, QLd);
+      auto Flip = B.ifCmp(CmpKind::LT, All, FZero, "flip");
+      B.fneg(NrmXl, NrmXl);
+      B.endIf(Flip);
+
+      auto Scale = B.forLoopReg("house.scale", I, L, N);
+      B.store2D(A, I, L, QLd, B.fdiv(B.load2D(A, I, L, QLd), NrmXl));
+      B.endDo(Scale);
+      VRegId Diag = B.fadd(B.load2D(A, L, L, QLd), One);
+      B.store2D(A, L, L, QLd, Diag);
+
+      // Apply to the trailing columns, refreshing their norms.
+      auto Tj = B.forLoopReg("apply", J, Lp1, P);
+      {
+        VRegId S2 = B.fReg("s2");
+        B.movF(0.0, S2);
+        auto Dot = B.forLoopReg("apply.dot", I, L, N);
+        B.fadd(S2, B.fmul(B.load2D(A, I, L, QLd), B.load2D(A, I, J, QLd)),
+               S2);
+        B.endDo(Dot);
+        VRegId Fac = B.fneg(B.fdiv(S2, B.load2D(A, L, L, QLd)));
+        auto Upd = B.forLoopReg("apply.upd", I, L, N);
+        VRegId Anew = B.fadd(B.fmul(B.load2D(A, I, J, QLd), DmpQ),
+                             B.fmul(B.fmul(Fac, WgtQ),
+                                    B.load2D(A, I, L, QLd)));
+        B.store2D(A, I, J, QLd, B.fadd(Anew, B.fmul(EpsQ, HalfQ)));
+        B.endDo(Upd);
+        // Norm downdate (recomputed cheaply).
+        VRegId Norm = B.fReg("norm");
+        B.movF(0.0, Norm);
+        auto Re = B.forLoopReg("apply.norm", I, Lp1, N);
+        VRegId T2 = B.load2D(A, I, J, QLd);
+        B.fadd(Norm, B.fmul(T2, T2), Norm);
+        B.endDo(Re);
+        B.store(Qraux, J, B.fsqrt(Norm));
+      }
+      B.endDo(Tj);
+
+      B.store(Qraux, L, B.load2D(A, L, L, QLd));
+      B.store2D(A, L, L, QLd, B.fneg(NrmXl));
+    }
+    B.endIf(Live);
+  }
+  B.endDo(Ll);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// GRADNT / HSSIAN — generated derivative evaluators.
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+/// Emits one generated nest: a loop over \p NP points whose body is a
+/// windowed chain of \p ChainLen floating statements mixing the shared
+/// coefficient table \p Coefs with array elements. The rolling window
+/// keeps ~WindowSize values live at once, mimicking the pressure of the
+/// original machine-generated derivative code.
+void emitChainNest(KernelBuilder &B, uint32_t XArr, uint32_t OutArr,
+                   const std::vector<VRegId> &Coefs, VRegId I,
+                   VRegId Limit, unsigned ChainLen, unsigned Phase,
+                   const std::string &Name) {
+  constexpr unsigned WindowSize = 10;
+  auto L = B.forLoop(Name, I, 0, Limit);
+  {
+    std::vector<VRegId> Window(WindowSize);
+    VRegId X = B.load(XArr, I);
+    VRegId Prev = B.load(OutArr, I);
+    for (unsigned W = 0; W < WindowSize; ++W)
+      Window[W] = W % 2 ? X : Prev;
+    for (unsigned S = 0; S < ChainLen; ++S) {
+      VRegId C = Coefs[(S * 5 + Phase) % Coefs.size()];
+      VRegId V = B.fadd(B.fmul(C, Window[S % WindowSize]),
+                        Window[(S + 3) % WindowSize]);
+      if (S % 7 == 4)
+        V = B.fabs(V);
+      if (S % 11 == 6)
+        V = B.fmul(V, X);
+      // Every dozen statements the generated code branches on a
+      // partial result, as the original derivative evaluator's
+      // piecewise terms did. The join makes the interference graph
+      // locally non-chordal — where optimistic coloring wins.
+      if (S % 12 == 7) {
+        VRegId Sel = B.fReg("sel");
+        VRegId CutA = Coefs[(S + 1) % Coefs.size()];
+        VRegId Other = Window[(S + 5) % WindowSize];
+        auto Piece = B.ifElseCmp(CmpKind::GT, V, Other, Name + ".piece");
+        B.fmul(V, CutA, Sel);
+        B.elseBranch(Piece);
+        B.fadd(V, Other, Sel);
+        B.endIf(Piece);
+        V = Sel;
+      }
+      Window[S % WindowSize] = V;
+    }
+    // Fold the whole window so every chain value is live (no dead code
+    // for the optimizer to strip).
+    VRegId Acc = Window[0];
+    for (unsigned W = 1; W < WindowSize; ++W)
+      Acc = B.fadd(Acc, Window[W]);
+    // Keep magnitudes bounded so long runs stay finite.
+    Acc = B.fmul(Acc, B.constF(1.0e-3));
+    B.store(OutArr, I, Acc);
+  }
+  B.endDo(L);
+}
+
+} // namespace
+
+Function &ra::buildGRADNT(Module &M) {
+  uint32_t X = M.newArray("x", NP, RegClass::Float);
+  uint32_t G = M.newArray("g", NP, RegClass::Float);
+  Function &F = M.newFunction("GRADNT");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(NP, "np");
+  // Six function-wide coefficients; each nest adds four of its own so
+  // the long ranges are staggered, not one giant clique.
+  std::vector<VRegId> Entry;
+  for (unsigned K = 0; K < 6; ++K)
+    Entry.push_back(B.constF(0.05 + 0.07 * K, "c" + std::to_string(K)));
+
+  VRegId I = B.iReg("i");
+  for (unsigned Nest = 0; Nest < 10; ++Nest) {
+    std::vector<VRegId> Coefs = Entry;
+    for (unsigned K = 0; K < 4; ++K)
+      Coefs.push_back(B.constF(0.11 + 0.05 * (Nest * 4 + K),
+                               "s" + std::to_string(Nest) + "_" +
+                                   std::to_string(K)));
+    emitChainNest(B, X, G, Coefs, I, N, /*ChainLen=*/84, Nest,
+                  "grad" + std::to_string(Nest));
+  }
+
+  B.ret();
+  return F;
+}
+
+Function &ra::buildHSSIAN(Module &M) {
+  uint32_t X = M.newArray("x", NP, RegClass::Float);
+  uint32_t H = M.newArray("h", NP * 16, RegClass::Float);
+  Function &F = M.newFunction("HSSIAN");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(NP, "np");
+  VRegId Cols = B.constI(16, "cols");
+  // Function-wide coefficients plus per-nest stage blocks, as GRADNT.
+  std::vector<VRegId> Entry;
+  for (unsigned K = 0; K < 6; ++K)
+    Entry.push_back(B.constF(0.04 + 0.06 * K, "h" + std::to_string(K)));
+
+  VRegId I = B.iReg("i"), J = B.iReg("j");
+  constexpr unsigned WindowSize = 10;
+  for (unsigned Nest = 0; Nest < 7; ++Nest) {
+    std::vector<VRegId> Coefs = Entry;
+    for (unsigned K = 0; K < 4; ++K)
+      Coefs.push_back(B.constF(0.09 + 0.04 * (Nest * 4 + K),
+                               "hs" + std::to_string(Nest) + "_" +
+                                   std::to_string(K)));
+    auto Jl = B.forLoop("hess" + std::to_string(Nest) + ".j", J, 0, Cols);
+    auto Il = B.forLoop("hess" + std::to_string(Nest) + ".i", I, 0, N);
+    {
+      VRegId Idx = B.add(B.mulI(J, NP), I);
+      std::vector<VRegId> Window(WindowSize);
+      VRegId Xi = B.load(X, I);
+      VRegId Prev = B.load(H, Idx);
+      for (unsigned W = 0; W < WindowSize; ++W)
+        Window[W] = W % 2 ? Xi : Prev;
+      for (unsigned S = 0; S < 100; ++S) {
+        VRegId C = Coefs[(S * 3 + Nest) % Coefs.size()];
+        VRegId V = B.fadd(B.fmul(C, Window[S % WindowSize]),
+                          Window[(S + 4) % WindowSize]);
+        if (S % 9 == 5)
+          V = B.fabs(V);
+        if (S % 14 == 10) {
+          VRegId Sel = B.fReg("hsel");
+          VRegId CutA = Coefs[(S + 1) % Coefs.size()];
+          VRegId CutB = Coefs[(S + 3) % Coefs.size()];
+          auto Piece = B.ifElseCmp(CmpKind::GT, V, CutA, "hess.piece");
+          B.fmul(V, CutB, Sel);
+          B.elseBranch(Piece);
+          B.fadd(V, CutA, Sel);
+          B.endIf(Piece);
+          V = Sel;
+        }
+        Window[S % WindowSize] = V;
+      }
+      VRegId Acc = Window[0];
+      for (unsigned W = 1; W < WindowSize; ++W)
+        Acc = B.fadd(Acc, Window[W]);
+      Acc = B.fmul(Acc, B.constF(1.0e-3));
+      B.store(H, Idx, Acc);
+    }
+    B.endDo(Il);
+    B.endDo(Jl);
+  }
+
+  B.ret();
+  return F;
+}

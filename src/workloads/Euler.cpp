@@ -1,0 +1,833 @@
+//===- workloads/Euler.cpp - 1-D EULER shock code reconstruction ----------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Reconstruction of the paper's EULER program, a 1-D simulation of shock
+// wave propagation. Eleven routines with deliberately different
+// register-pressure profiles, matching the spread in Figure 5: from
+// BNDRY (straight-line, almost no spilling) through FINDIF/DIFFR
+// (moderate nests, ~26% improvement) to DISSIP (SVD-like long live
+// ranges over several nests — the table's best case at 69%) and INIT
+// (large but simple, little improvement).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/KernelBuilder.h"
+
+using namespace ra;
+
+namespace {
+constexpr int64_t NX = 256; ///< grid points
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// SHOCK — initial discontinuity.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildSHOCK(Module &M) {
+  uint32_t U = M.newArray("u", NX, RegClass::Float);
+  Function &F = M.newFunction("SHOCK");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(NX, "nx");
+  VRegId Mid = B.constI(NX / 2, "mid");
+  VRegId UL = B.constF(1.0, "ul");
+  VRegId UR = B.constF(0.125, "ur");
+
+  VRegId I = B.iReg("i");
+  auto L = B.forLoop("fill", I, 0, N);
+  VRegId V = B.fReg("v");
+  auto Side = B.ifElseCmp(CmpKind::LT, I, Mid, "side");
+  B.copy(UL, V);
+  B.elseBranch(Side);
+  B.copy(UR, V);
+  B.endIf(Side);
+  B.store(U, I, V);
+  B.endDo(L);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// DERIV — centered first and second differences.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDERIV(Module &M) {
+  uint32_t U = M.newArray("u", NX, RegClass::Float);
+  uint32_t D1 = M.newArray("d1", NX, RegClass::Float);
+  uint32_t D2 = M.newArray("d2", NX, RegClass::Float);
+  Function &F = M.newFunction("DERIV");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId Nm1 = B.constI(NX - 1, "nm1");
+  VRegId HalfInv = B.constF(0.5 * NX, "halfinv"); // 1/(2 dx), dx = 1/NX
+  VRegId DxInv2 = B.constF(double(NX) * NX, "dxinv2");
+  VRegId Zero = B.constI(0, "zero");
+  VRegId FZero = B.constF(0.0, "fzero");
+
+  VRegId I = B.iReg("i");
+  auto L1 = B.forLoop("first", I, 1, Nm1);
+  VRegId Diff = B.fsub(B.load(U, B.addI(I, 1)), B.load(U, B.addI(I, -1)));
+  B.store(D1, I, B.fmul(Diff, HalfInv));
+  B.endDo(L1);
+
+  auto L2 = B.forLoop("second", I, 1, Nm1);
+  VRegId Up = B.load(U, B.addI(I, 1));
+  VRegId Um = B.load(U, B.addI(I, -1));
+  VRegId Uc = B.load(U, I);
+  VRegId Lap = B.fsub(B.fadd(Up, Um), B.fadd(Uc, Uc));
+  B.store(D2, I, B.fmul(Lap, DxInv2));
+  B.endDo(L2);
+
+  // One-sided boundaries.
+  B.store(D1, Zero, FZero);
+  B.store(D1, B.constI(NX - 1), FZero);
+  B.store(D2, Zero, FZero);
+  B.store(D2, B.constI(NX - 1), FZero);
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// CODE — one conservative update step (Burgers flux + viscosity).
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildCODE(Module &M) {
+  uint32_t U = M.newArray("u", NX, RegClass::Float);
+  uint32_t Fx = M.newArray("f", NX, RegClass::Float);
+  uint32_t Un = M.newArray("un", NX, RegClass::Float);
+  Function &F = M.newFunction("CODE");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(NX, "nx");
+  VRegId Nm1 = B.constI(NX - 1, "nm1");
+  // Coefficient block used in both loops: these are all live together,
+  // so, as in the paper's CODE row, both heuristics make nearly the
+  // same (necessary) spill choices.
+  VRegId Half = B.constF(0.5, "half");
+  VRegId DtDx = B.constF(0.4, "dtdx");
+  VRegId Visc = B.constF(0.05, "visc");
+  VRegId Gm = B.constF(1.4, "gm");
+  VRegId Pr = B.constF(0.7, "pr");
+  VRegId Cv = B.constF(2.5, "cv");
+
+  VRegId I = B.iReg("i");
+  auto Flux = B.forLoop("flux", I, 0, N);
+  VRegId Ui = B.load(U, I);
+  VRegId Kin = B.fmul(Half, B.fmul(Ui, Ui));
+  B.store(Fx, I, B.fadd(Kin, B.fmul(B.fmul(Gm, Cv), B.fabs(Ui))));
+  B.endDo(Flux);
+
+  auto Upd = B.forLoop("update", I, 1, Nm1);
+  {
+    VRegId Ui2 = B.load(U, I);
+    VRegId Fi = B.load(Fx, I);
+    VRegId Fm = B.load(Fx, B.addI(I, -1));
+    VRegId Up = B.load(U, B.addI(I, 1));
+    VRegId Um = B.load(U, B.addI(I, -1));
+    VRegId Conv = B.fmul(DtDx, B.fmul(B.fsub(Fi, Fm), Pr));
+    VRegId Diff = B.fmul(Visc, B.fsub(B.fadd(Up, Um), B.fadd(Ui2, Ui2)));
+    VRegId Src = B.fmul(Gm, B.fmul(Cv, B.fmul(Half, Ui2)));
+    B.store(Un, I,
+            B.fadd(B.fsub(B.fadd(B.fsub(Ui2, Conv), Diff),
+                          B.fmul(Src, Visc)),
+                   B.fmul(Pr, B.fmul(DtDx, Diff))));
+  }
+  B.endDo(Upd);
+
+  // Copy back with frozen boundaries.
+  auto Cp = B.forLoop("copyback", I, 1, Nm1);
+  B.store(U, I, B.load(Un, I));
+  B.endDo(Cp);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// CHEB — Chebyshev smoothing recurrence.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildCHEB(Module &M) {
+  uint32_t R = M.newArray("r", NX, RegClass::Float);
+  uint32_t T0 = M.newArray("t0", NX, RegClass::Float);
+  uint32_t T1 = M.newArray("t1", NX, RegClass::Float);
+  uint32_t T2 = M.newArray("t2", NX, RegClass::Float);
+  Function &F = M.newFunction("CHEB");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(NX, "nx");
+  VRegId Nm1 = B.constI(NX - 1, "nm1");
+  VRegId Deg = B.constI(6, "deg");
+  VRegId TwoX = B.constF(1.8, "twox");
+  VRegId Cr = B.constF(0.3, "cr");
+  VRegId Cs2 = B.constF(0.95, "cs2");
+  VRegId Cs3 = B.constF(0.02, "cs3");
+  VRegId Cs4 = B.constF(1.05, "cs4");
+
+  VRegId I = B.iReg("i"), K = B.iReg("k");
+
+  // t0 = r; t1 = x * r.
+  auto Init = B.forLoop("init", I, 0, N);
+  VRegId Ri = B.load(R, I);
+  B.store(T0, I, B.fmul(Ri, Cs4));
+  B.store(T1, I, B.fmul(B.fmul(TwoX, Ri), Cr));
+  B.endDo(Init);
+
+  auto KL = B.forLoop("degree", K, 0, Deg);
+  {
+    auto IL = B.forLoop("recur", I, 1, Nm1);
+    VRegId Next = B.fadd(
+        B.fsub(B.fmul(TwoX, B.load(T1, I)), B.fmul(Cs2, B.load(T0, I))),
+        B.fmul(Cr, B.load(R, I)));
+    VRegId Neighbor =
+        B.fadd(B.load(T1, B.addI(I, 1)), B.load(T1, B.addI(I, -1)));
+    B.store(T2, I, B.fadd(Next, B.fmul(Cs3, Neighbor)));
+    B.endDo(IL);
+    auto Shift = B.forLoop("shift", I, 0, N);
+    B.store(T0, I, B.fmul(B.load(T1, I), Cs4));
+    B.store(T1, I, B.load(T2, I));
+    B.endDo(Shift);
+  }
+  B.endDo(KL);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// FINDIF — finite-difference update with shared coefficient scalars.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildFINDIF(Module &M) {
+  uint32_t U = M.newArray("u", NX, RegClass::Float);
+  uint32_t W = M.newArray("w", NX, RegClass::Float);
+  uint32_t G = M.newArray("g", NX, RegClass::Float);
+  Function &F = M.newFunction("FINDIF");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId Nm2 = B.constI(NX - 2, "nm2");
+  VRegId Blk = B.constI(8, "blk");
+  VRegId Sweeps = B.constI(2, "sweeps");
+  VRegId Passes = B.constI(2, "passes");
+  // Five shared coefficients, live across the pre-loop and the sweeps
+  // (few enough that a colorable neighborhood remains possible).
+  VRegId C1 = B.constF(0.1, "c1");
+  VRegId C2 = B.constF(0.2, "c2");
+  VRegId C3 = B.constF(0.05, "c3");
+  VRegId C4 = B.constF(0.7, "c4");
+  VRegId C5 = B.constF(1.3, "c5");
+
+  VRegId I = B.iReg("i"), J = B.iReg("j");
+  VRegId Sweep = B.iReg("sweep"), Pass = B.iReg("pass");
+
+  // Small doubly-nested boundary smoothing. The temporaries are
+  // staggered and one operand is reused late, so their degree reaches
+  // the FP file size while the region itself stays colorable — the
+  // Figure 3 shape Chaitin's simplification trips over.
+  auto PJ = B.forLoop("pre.j", J, 0, Blk);
+  auto PI = B.forLoop("pre.i", I, 2, Blk);
+  {
+    VRegId A = B.load(G, B.addI(I, -2), B.fReg("pre.a"));
+    VRegId Bg = B.load(G, B.addI(I, -1), B.fReg("pre.b"));
+    VRegId Acc = B.fadd(A, Bg, B.fReg("pre.acc"));
+    VRegId C = B.fmul(Bg, C3, B.fReg("pre.c"));
+    VRegId D = B.fadd(Acc, C, B.fReg("pre.d"));
+    VRegId E = B.fadd(D, A, B.fReg("pre.e")); // late reuse of A
+    B.store(G, I, B.fmul(E, C1));
+  }
+  B.endDo(PI);
+  B.endDo(PJ);
+
+  auto SW = B.forLoop("sweep", Sweep, 0, Sweeps);
+  {
+    // Stage coefficients for this sweep (depend on the sweep counter).
+    VRegId Ds = B.fmul(B.itof(Sweep), B.constF(0.1));
+    VRegId C6 = B.fsub(B.constF(0.9), B.fmul(Ds, C3));
+    VRegId C7 = B.fadd(C5, Ds);
+    VRegId C8 = B.fsub(C6, B.fmul(Ds, C1));
+
+    auto PL = B.forLoop("pass", Pass, 0, Passes);
+    {
+      // Nest 1: 5-point stencil into w, accumulating as it loads so
+      // local pressure stays modest (depth-3 body).
+      auto L1 = B.forLoop("stencil", I, 2, Nm2);
+      {
+        VRegId T = B.fmul(C1, B.load(U, B.addI(I, -2)));
+        T = B.fadd(T, B.fmul(C2, B.load(U, B.addI(I, -1))));
+        T = B.fadd(T, B.fmul(C4, B.load(U, I)));
+        T = B.fadd(T, B.fmul(C2, B.load(U, B.addI(I, 1))));
+        T = B.fadd(T, B.fmul(C1, B.load(U, B.addI(I, 2))));
+        B.store(W, I, B.fmul(T, C7));
+      }
+      B.endDo(L1);
+
+      // Nest 2: gradient-limited correction with a minmod branch.
+      auto L2 = B.forLoop("correct", I, 2, Nm2);
+      {
+        VRegId Wm = B.load(W, B.addI(I, -1));
+        VRegId Wc = B.load(W, I);
+        VRegId Wp = B.load(W, B.addI(I, 1));
+        VRegId DL = B.fsub(Wc, Wm);
+        VRegId DR = B.fsub(Wp, Wc);
+        VRegId Corr = B.fReg("corr");
+        auto MinMod = B.ifElseCmp(CmpKind::GT, B.fmul(DL, DR), C3,
+                                  "minmod");
+        B.fsub(B.fmul(C8, DR), B.fmul(C6, DL), Corr);
+        B.elseBranch(MinMod);
+        B.fmul(C3, B.fadd(B.fabs(DL), B.fabs(DR)), Corr);
+        B.endIf(MinMod);
+        B.store(G, I, B.fadd(B.fmul(Corr, C4), B.fmul(Wc, C2)));
+      }
+      B.endDo(L2);
+    }
+    B.endDo(PL);
+  }
+  B.endDo(SW);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// FFTB — decimation-in-time butterfly loop nest (real/imag arrays).
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildFFTB(Module &M) {
+  uint32_t Xr = M.newArray("xr", NX, RegClass::Float);
+  uint32_t Xi = M.newArray("xi", NX, RegClass::Float);
+  Function &F = M.newFunction("FFTB");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(NX, "n");
+  VRegId One = B.constF(1.0, "fone");
+  VRegId WrStep = B.constF(0.995, "wrstep");
+  VRegId WiStep = B.constF(0.0998, "wistep");
+
+  // Stage loop: le = 1, 2, 4, ... < n  (while structure).
+  VRegId Le = B.iReg("le");
+  B.movI(1, Le);
+  uint32_t StageHead = B.newBlock("stage.head");
+  uint32_t StageBody = B.newBlock("stage.body");
+  uint32_t StageExit = B.newBlock("stage.exit");
+  B.jmp(StageHead);
+  B.setInsertPoint(StageHead);
+  B.br(CmpKind::LT, Le, N, StageBody, StageExit);
+  B.setInsertPoint(StageBody);
+  {
+    VRegId Le2 = B.mulI(Le, 2);
+    VRegId Ur = B.fReg("ur");
+    VRegId Ui = B.fReg("ui");
+    B.movF(1.0, Ur);
+    B.movF(0.0, Ui);
+    // Second (half-rate) twiddle pair, as a radix-4-style kernel keeps.
+    VRegId Vr = B.fReg("vr");
+    VRegId Vi = B.fReg("vi");
+    B.movF(1.0, Vr);
+    B.movF(0.0, Vi);
+
+    VRegId J = B.iReg("j");
+    auto JL = B.forLoop("twiddle", J, 0, Le);
+    {
+      // Strided butterfly: i = j, j+le2, j+2*le2, ...
+      VRegId I = B.iReg("i");
+      B.copy(J, I);
+      uint32_t BflyHead = B.newBlock("bfly.head");
+      uint32_t BflyBody = B.newBlock("bfly.body");
+      uint32_t BflyExit = B.newBlock("bfly.exit");
+      B.jmp(BflyHead);
+      B.setInsertPoint(BflyHead);
+      VRegId Ip = B.add(I, Le);
+      B.br(CmpKind::LT, Ip, N, BflyBody, BflyExit);
+      B.setInsertPoint(BflyBody);
+      {
+        VRegId Tr = B.fsub(B.fmul(Ur, B.load(Xr, Ip)),
+                           B.fmul(Ui, B.load(Xi, Ip)));
+        VRegId Ti = B.fadd(B.fmul(Ur, B.load(Xi, Ip)),
+                           B.fmul(Ui, B.load(Xr, Ip)));
+        VRegId Ar = B.fadd(B.fmul(B.load(Xr, I), Vr),
+                           B.fmul(B.load(Xi, I), Vi));
+        VRegId Ai = B.fsub(B.fmul(B.load(Xi, I), Vr),
+                           B.fmul(B.load(Xr, I), Vi));
+        B.store(Xr, Ip, B.fsub(Ar, Tr));
+        B.store(Xi, Ip, B.fsub(Ai, Ti));
+        B.store(Xr, I, B.fadd(Ar, Tr));
+        B.store(Xi, I, B.fadd(Ai, Ti));
+        B.add(I, Le2, I);
+        B.jmp(BflyHead);
+      }
+      B.setInsertPoint(BflyExit);
+      // Twiddle recurrences (approximate rotations, two rates).
+      VRegId NewUr = B.fsub(B.fmul(Ur, WrStep), B.fmul(Ui, WiStep));
+      VRegId NewUi = B.fadd(B.fmul(Ui, WrStep), B.fmul(Ur, WiStep));
+      B.copy(NewUr, Ur);
+      B.copy(NewUi, Ui);
+      VRegId NewVr = B.fsub(B.fmul(Vr, WrStep), B.fmul(Vi, WrStep));
+      VRegId NewVi = B.fadd(B.fmul(Vi, WrStep), B.fmul(Vr, WiStep));
+      B.copy(NewVr, Vr);
+      B.copy(NewVi, Vi);
+    }
+    B.endDo(JL);
+    (void)One;
+    B.copy(Le2, Le);
+    B.jmp(StageHead);
+  }
+  B.setInsertPoint(StageExit);
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// BNDRY — boundary conditions: long straight-line scalar chains with
+// low simultaneous pressure (the table's 3-spill row).
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildBNDRY(Module &M) {
+  uint32_t U = M.newArray("u", NX, RegClass::Float);
+  uint32_t P = M.newArray("p", 32, RegClass::Float);
+  Function &F = M.newFunction("BNDRY");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId Damp = B.constF(0.97, "damp");
+  VRegId Bias = B.constF(0.01, "bias");
+
+  // Twelve independent chains per edge: each computes a ghost value
+  // from two parameters, then stores it. Chains are sequential, so few
+  // values are live at once.
+  for (int64_t K = 0; K < 12; ++K) {
+    VRegId A = B.load(P, B.constI(K % 8));
+    VRegId Bv = B.load(P, B.constI((K + 3) % 8));
+    VRegId T = B.fmul(A, Damp);
+    T = B.fadd(T, B.fmul(Bv, Bias));
+    T = B.fsub(T, B.fmul(B.fabs(A), Bias));
+    T = B.fmul(T, Damp);
+    B.store(U, B.constI(K), T);
+    VRegId T2 = B.fadd(B.fmul(Bv, Damp), B.fmul(A, Bias));
+    T2 = B.fsub(T2, B.fmul(B.fabs(Bv), Bias));
+    B.store(U, B.constI(NX - 1 - K), T2);
+  }
+
+  // Small ghost-cell loops.
+  VRegId I = B.iReg("i");
+  VRegId Four = B.constI(4, "four");
+  auto L1 = B.forLoop("ghost.lo", I, 0, Four);
+  B.store(U, I, B.fmul(B.load(U, B.addI(I, 4)), Damp));
+  B.endDo(L1);
+  auto L2 = B.forLoop("ghost.hi", I, 0, Four);
+  VRegId Hi = B.sub(B.constI(NX - 1), I);
+  B.store(U, Hi, B.fmul(B.load(U, B.addI(Hi, -4)), Damp));
+  B.endDo(L2);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// INPUT — problem setup: a long series of parameter assignments plus
+// simply nested initialization loops.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildINPUT(Module &M) {
+  uint32_t P = M.newArray("p", 32, RegClass::Float);
+  uint32_t U = M.newArray("u", NX, RegClass::Float);
+  uint32_t R = M.newArray("r", NX, RegClass::Float);
+  uint32_t W = M.newArray("w", NX, RegClass::Float);
+  Function &F = M.newFunction("INPUT");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(NX, "nx");
+  VRegId Rows = B.constI(3, "rows");
+  VRegId Cols = B.constI(24, "cols");
+  // Entry block of physical constants, live through everything below.
+  VRegId Scale = B.constF(1.0 / NX, "scale");
+  VRegId Gamma = B.constF(1.4, "gamma");
+  VRegId Pref = B.constF(101.325, "pref");
+  VRegId Rgas = B.constF(0.287, "rgas");
+  VRegId Cvh = B.constF(0.718, "cvh");
+  VRegId Tref = B.constF(288.0, "tref");
+
+  // Parameter table: generated assignment series using the constants.
+  for (int64_t K = 0; K < 24; ++K) {
+    VRegId V = B.constF(0.125 * double(K + 1));
+    V = B.fmul(V, Gamma);
+    if (K % 3 == 0)
+      V = B.fadd(V, Pref);
+    if (K % 4 == 1)
+      V = B.fmul(V, Scale);
+    if (K % 5 == 2)
+      V = B.fadd(B.fmul(V, Rgas), B.fmul(Cvh, Tref));
+    B.store(P, B.constI(K), V);
+  }
+
+  // Small doubly-nested normalization over the parameter table, with
+  // staggered cheap temporaries.
+  VRegId I = B.iReg("i"), J = B.iReg("j");
+  auto NormJ = B.forLoop("norm.j", J, 0, Rows);
+  auto NormI = B.forLoop("norm.i", I, 1, Cols);
+  {
+    VRegId Pa = B.load(P, B.addI(I, -1));
+    VRegId Pb = B.load(P, I);
+    VRegId Acc = B.fadd(Pa, Pb);
+    VRegId T = B.fmul(Pb, Rgas);
+    B.store(P, I, B.fmul(B.fadd(Acc, T), Scale));
+  }
+  B.endDo(NormI);
+  B.endDo(NormJ);
+
+  // Initial profiles, two points per trip, using the constant block.
+  auto L1 = B.forLoop("prof.u", I, 0, N, 2);
+  {
+    VRegId Ip1 = B.addI(I, 1);
+    VRegId X = B.fmul(B.itof(I), Scale);
+    VRegId X2 = B.fmul(B.itof(Ip1), Scale);
+    VRegId Va = B.fadd(B.fmul(X, X), B.fmul(Gamma, X));
+    VRegId Vb = B.fadd(B.fmul(X2, X2), B.fmul(Gamma, X2));
+    B.store(U, I, Va);
+    B.store(U, Ip1, Vb);
+  }
+  B.endDo(L1);
+
+  auto L2 = B.forLoop("prof.r", I, 0, N);
+  VRegId X3 = B.fmul(B.itof(I), Scale);
+  B.store(R, I,
+          B.fadd(B.fsub(Pref, B.fmul(X3, Pref)),
+                 B.fmul(Rgas, B.fmul(Tref, X3))));
+  B.endDo(L2);
+
+  auto L3 = B.forLoop("prof.w", I, 0, N);
+  B.store(W, I, B.fmul(B.fmul(B.load(U, I), B.load(R, I)), Cvh));
+  B.endDo(L3);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// DIFFR — wide-stencil difference operator over three sequential nests
+// sharing a block of coefficients.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDIFFR(Module &M) {
+  uint32_t U = M.newArray("u", NX, RegClass::Float);
+  uint32_t A = M.newArray("a", NX, RegClass::Float);
+  uint32_t Bx = M.newArray("b", NX, RegClass::Float);
+  uint32_t C = M.newArray("c", NX, RegClass::Float);
+  Function &F = M.newFunction("DIFFR");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId Nm3 = B.constI(NX - 3, "nm3");
+  VRegId Blk = B.constI(9, "blk");
+  VRegId Orders = B.constI(2, "orders");
+  // Shared coefficient block (long live ranges across all nests).
+  VRegId K1 = B.constF(0.0625, "k1");
+  VRegId K2 = B.constF(0.25, "k2");
+  VRegId K3 = B.constF(0.375, "k3");
+  VRegId K4 = B.constF(1.5, "k4");
+  VRegId K5 = B.constF(0.8, "k5");
+  VRegId K6 = B.constF(0.12, "k6");
+
+  VRegId I = B.iReg("i"), J = B.iReg("j"), Ord = B.iReg("ord");
+
+  // Small doubly-nested aperture initialization (cheap staggered
+  // temporaries over a tiny block).
+  auto PJ = B.forLoop("aper.j", J, 0, Blk);
+  auto PI = B.forLoop("aper.i", I, 2, Blk);
+  {
+    VRegId A1 = B.load(C, B.addI(I, -2));
+    VRegId A2 = B.load(C, B.addI(I, -1));
+    VRegId Acc = B.fadd(A1, A2);
+    VRegId T = B.fmul(A2, K1);
+    B.store(C, I, B.fmul(B.fadd(Acc, T), K2));
+  }
+  B.endDo(PI);
+  B.endDo(PJ);
+
+  // Diffraction orders: each order re-runs the three nests with
+  // order-dependent stage coefficients.
+  auto OL = B.forLoop("orders", Ord, 0, Orders);
+  {
+    VRegId Do = B.fmul(B.itof(Ord), B.constF(0.05));
+    VRegId K7 = B.fadd(B.constF(2.2), Do);
+    VRegId K8 = B.fsub(B.constF(0.45), B.fmul(Do, K6));
+
+    // Nest 1: seven-point smoothing into a.
+    auto L1 = B.forLoop("smooth", I, 3, Nm3);
+    {
+      VRegId S = B.fmul(K1, B.load(U, B.addI(I, -3)));
+      S = B.fadd(S, B.fmul(K2, B.load(U, B.addI(I, -2))));
+      S = B.fadd(S, B.fmul(K3, B.load(U, B.addI(I, -1))));
+      S = B.fadd(S, B.fmul(K4, B.load(U, I)));
+      S = B.fadd(S, B.fmul(K3, B.load(U, B.addI(I, 1))));
+      S = B.fadd(S, B.fmul(K2, B.load(U, B.addI(I, 2))));
+      S = B.fadd(S, B.fmul(K1, B.load(U, B.addI(I, 3))));
+      B.store(A, I, S);
+    }
+    B.endDo(L1);
+
+    // Nest 2: difference of smoothed field into b.
+    auto L2 = B.forLoop("diff", I, 3, Nm3);
+    {
+      VRegId D =
+          B.fsub(B.load(A, B.addI(I, 1)), B.load(A, B.addI(I, -1)));
+      VRegId D2 =
+          B.fsub(B.load(A, B.addI(I, 2)), B.load(A, B.addI(I, -2)));
+      VRegId T = B.fsub(B.fmul(K5, D), B.fmul(K6, D2));
+      B.store(Bx, I, B.fmul(T, K7));
+    }
+    B.endDo(L2);
+
+    // Nest 3: combine, with an aperture branch.
+    auto L3 = B.forLoop("combine", I, 3, Nm3);
+    {
+      VRegId Ai = B.load(A, I);
+      VRegId Bi = B.load(Bx, I);
+      VRegId Ui = B.load(U, I);
+      VRegId T = B.fReg("t");
+      auto Edge = B.ifElseCmp(CmpKind::GT, B.fabs(Bi),
+                              B.fmul(K6, B.fabs(Ai)), "edge");
+      B.fadd(B.fmul(K8, Ai), B.fmul(K5, Bi), T);
+      B.elseBranch(Edge);
+      B.fsub(B.fmul(K8, Ai), B.fmul(K3, Bi), T);
+      B.endIf(Edge);
+      B.store(C, I, B.fadd(T, B.fmul(K2, Ui)));
+    }
+    B.endDo(L3);
+  }
+  B.endDo(OL);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// DISSIP — artificial dissipation. Deliberately SVD-shaped (Figure 1):
+// entry-defined coefficients live across a small doubly-nested
+// smoothing loop and into deep time-step nests; a second block of
+// stage coefficients is derived *inside* the time-step loop (they
+// depend on the step number, so LICM cannot merge them with the entry
+// block). The nests run at loop depth three, so the shared scalars are
+// expensive to spill, while the smoothing loop's temporaries are cheap
+// — the exact mis-ranking that made Chaitin's simplification phase
+// over-spill SVD, and that the optimistic select phase cleans up. The
+// table's best case (69% fewer spilled ranges).
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDISSIP(Module &M) {
+  uint32_t U = M.newArray("u", NX, RegClass::Float);
+  uint32_t Q = M.newArray("q", NX, RegClass::Float);
+  uint32_t D = M.newArray("d", NX, RegClass::Float);
+  uint32_t E = M.newArray("e", NX, RegClass::Float);
+  Function &F = M.newFunction("DISSIP");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  // Entry coefficient block: long live ranges spanning the smoothing
+  // loop and every nest.
+  VRegId Nm2 = B.constI(NX - 2, "nm2");
+  VRegId Blk = B.constI(10, "blk");
+  VRegId E2 = B.constF(0.25, "e2");
+  VRegId E4 = B.constF(0.015625, "e4");
+  VRegId Cfl = B.constF(0.9, "cfl");
+  VRegId Vis = B.constF(0.07, "vis");
+  VRegId Amp = B.constF(3.5, "amp");
+  VRegId Flr = B.constF(1.0e-9, "flr");
+
+  VRegId I = B.iReg("i"), J = B.iReg("j"), Step = B.iReg("step");
+  VRegId Sweep = B.iReg("sweep");
+  VRegId Steps = B.constI(2, "steps");
+  VRegId Sweeps = B.constI(2, "sweeps");
+
+  // The small doubly-nested smoothing loop — the "array copy" of
+  // Figure 1. The accumulator Acc has neighbors that can share a color
+  // (A dies before C is born), so its degree overstates its true
+  // conflict: the shape of Figure 3.
+  auto SJ = B.forLoop("pre.j", J, 0, Blk);
+  auto SI = B.forLoop("pre.i", I, 2, Blk);
+  {
+    VRegId A = B.load(Q, B.addI(I, -2));
+    VRegId Bq = B.load(Q, B.addI(I, -1));
+    VRegId Acc = B.fadd(A, Bq);
+    VRegId C = B.fmul(Bq, E2);
+    VRegId Dv = B.fadd(Acc, C);
+    B.store(Q, I, B.fmul(Dv, E4));
+  }
+  B.endDo(SI);
+  B.endDo(SJ);
+
+  auto TS = B.forLoop("steps", Step, 0, Steps);
+  {
+    // Stage coefficient block: derived from the step number, live over
+    // the rest of this iteration only.
+    VRegId Dt = B.fmul(B.itof(Step), B.constF(0.125));
+    VRegId Wgt = B.fadd(B.fmul(Dt, Cfl), B.constF(1.1));
+    VRegId Dmp = B.fsub(B.constF(0.93), B.fmul(Dt, E4));
+    VRegId Mix = B.fadd(B.fmul(Dt, Vis), B.constF(0.6));
+    VRegId Gn = B.fadd(B.constF(1.4), B.fmul(Dt, E2));
+    VRegId Rf = B.fadd(B.constF(0.2), B.fmul(Dt, Dt));
+    VRegId Sc = B.fmul(B.fadd(Dt, E4), B.constF(0.03));
+
+    auto SW = B.forLoop("sweep", Sweep, 0, Sweeps);
+    {
+      // Nest 1: pressure sensor with a limiter branch (depth 3 body).
+      VRegId PrevSense = B.fReg("prevsense");
+      B.movF(0.0, PrevSense);
+      auto L1 = B.forLoop("sensor", I, 2, Nm2);
+      {
+        VRegId Um1 = B.load(U, B.addI(I, -1));
+        VRegId Uc = B.load(U, I);
+        VRegId Up1 = B.load(U, B.addI(I, 1));
+        VRegId Num =
+            B.fmul(Gn, B.fabs(B.fadd(B.fsub(Up1, B.fadd(Uc, Uc)), Um1)));
+        VRegId Den = B.fadd(
+            B.fadd(B.fmul(B.fabs(Up1), Wgt), B.fmul(B.fabs(Uc), Amp)),
+            B.fadd(B.fmul(B.fabs(Um1), Wgt), Flr));
+        VRegId Sense = B.fmul(B.fdiv(Num, Den), Cfl);
+        VRegId Sharp = B.fReg("sharp");
+        auto Lim = B.ifElseCmp(CmpKind::GT, Sense, Rf, "sensor.lim");
+        B.fmul(B.fmul(E2, Sense), Amp, Sharp);
+        B.elseBranch(Lim);
+        B.fadd(B.fmul(E2, Sense), B.fmul(B.fmul(E4, Uc), Vis), Sharp);
+        B.endIf(Lim);
+        B.store(D, I, B.fadd(B.fmul(Sharp, Dmp), B.fmul(PrevSense, Sc)));
+        B.fmul(Sense, Dmp, PrevSense);
+      }
+      B.endDo(L1);
+
+      // Nest 2: dissipative flux with monotonicity branch and carried
+      // jump recurrence.
+      VRegId PrevJump = B.fReg("prevjump");
+      B.movF(0.0, PrevJump);
+      auto L2 = B.forLoop("flux", I, 2, Nm2);
+      {
+        VRegId Di = B.load(D, I);
+        VRegId Dm = B.load(D, B.addI(I, -1));
+        VRegId Qi = B.load(Q, I);
+        VRegId Qm = B.load(Q, B.addI(I, -1));
+        VRegId Sigma = B.fmul(Cfl, B.fadd(B.fmul(Di, Wgt), Dm));
+        VRegId Jump = B.fmul(B.fsub(Qi, Qm), Gn);
+        VRegId Fl = B.fReg("fl");
+        auto Mono = B.ifElseCmp(CmpKind::GT, B.fmul(Jump, PrevJump),
+                                Flr, "flux.mono");
+        B.fmul(B.fmul(Sigma, Jump), Mix, Fl);
+        B.elseBranch(Mono);
+        B.fmul(B.fmul(Gn, Rf), B.fabs(Jump), Fl);
+        B.endIf(Mono);
+        B.store(E, I, B.fsub(B.fmul(Fl, Amp), B.fmul(Sc, Qi)));
+        B.fadd(B.fmul(Jump, Dmp), B.fmul(PrevJump, E4), PrevJump);
+      }
+      B.endDo(L2);
+
+      // Nest 3: apply with damping and a floor branch.
+      auto L3 = B.forLoop("apply", I, 2, Nm2);
+      {
+        VRegId Ei = B.load(E, I);
+        VRegId Ep = B.load(E, B.addI(I, 1));
+        VRegId Ui = B.load(U, I);
+        VRegId Upd = B.fmul(Dmp, B.fmul(B.fsub(Ep, Ei), Rf));
+        Upd = B.fadd(B.fmul(Mix, Upd), B.fmul(Vis, Ui));
+        VRegId Out = B.fReg("out");
+        auto Floor =
+            B.ifElseCmp(CmpKind::GT, B.fabs(Upd), Flr, "apply.floor");
+        B.fadd(Ui, B.fmul(Upd, Cfl), Out);
+        B.elseBranch(Floor);
+        B.fsub(Ui, B.fmul(E2, B.fabs(Ei)), Out);
+        B.endIf(Floor);
+        B.store(U, I, B.fadd(B.fmul(Out, Wgt), B.fmul(Ui, E4)));
+      }
+      B.endDo(L3);
+    }
+    B.endDo(SW);
+  }
+  B.endDo(TS);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// INIT — data initialization for the whole program: a long series of
+// assignment statements and simply nested loops. Big object code, a
+// simple interference graph, low spill costs (the table's 7% row).
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildINIT(Module &M) {
+  uint32_t U = M.newArray("u", NX, RegClass::Float);
+  uint32_t R = M.newArray("r", NX, RegClass::Float);
+  uint32_t W = M.newArray("w", NX, RegClass::Float);
+  uint32_t P = M.newArray("p", 64, RegClass::Float);
+  uint32_t Tz = M.newArray("t", NX, RegClass::Float);
+  Function &F = M.newFunction("INIT");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(NX, "nx");
+  VRegId Scale = B.constF(1.0 / NX, "scale");
+
+  // A long series of parameter assignments computed as a rolling
+  // window of recent values: sustained moderate pressure over a large
+  // stretch of straight-line code, but every range is cheap to spill
+  // (depth zero) — the paper's INIT profile: many spills, low cost,
+  // little difference between the heuristics.
+  {
+    constexpr unsigned WindowSize = 12;
+    std::vector<VRegId> Window;
+    for (unsigned W = 0; W < WindowSize; ++W)
+      Window.push_back(B.constF(0.3 + 0.05 * W));
+    for (int64_t K = 0; K < 56; ++K) {
+      VRegId V = B.fadd(B.fmul(Window[K % WindowSize],
+                               B.constF(0.9 + 0.001 * double(K % 13))),
+                        Window[(K + 5) % WindowSize]);
+      if (K % 6 == 3)
+        V = B.fabs(B.fsub(V, Window[(K + 9) % WindowSize]));
+      V = B.fmul(V, B.constF(0.5));
+      B.store(P, B.constI(K % 64), V);
+      Window[K % WindowSize] = V;
+    }
+  }
+
+  // Simply nested initialization loops.
+  VRegId I = B.iReg("i");
+  struct ProfileSpec {
+    uint32_t Array;
+    double A, Bc, Cc;
+  };
+  const ProfileSpec Profiles[] = {
+      {U, 1.0, 0.5, 0.0},  {R, 0.25, -0.1, 1.0}, {W, 2.0, 0.0, 0.3},
+      {Tz, 0.1, 0.9, 0.2},
+  };
+  for (const ProfileSpec &PS : Profiles) {
+    auto L = B.forLoop("fill", I, 0, N);
+    VRegId X = B.fmul(B.itof(I), Scale);
+    VRegId V = B.fmul(B.constF(PS.A), X);
+    V = B.fadd(V, B.constF(PS.Bc));
+    V = B.fadd(V, B.fmul(B.constF(PS.Cc), B.fmul(X, X)));
+    B.store(PS.Array, I, V);
+    B.endDo(L);
+  }
+
+  // Derived fields, one simple loop each.
+  auto L5 = B.forLoop("derive.w", I, 0, N);
+  B.store(W, I, B.fmul(B.load(U, I), B.load(R, I)));
+  B.endDo(L5);
+  auto L6 = B.forLoop("derive.t", I, 0, N);
+  B.store(Tz, I, B.fadd(B.load(Tz, I), B.fmul(B.load(W, I),
+                                              B.constF(0.05))));
+  B.endDo(L6);
+
+  B.ret();
+  return F;
+}

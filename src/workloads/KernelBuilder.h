@@ -1,0 +1,179 @@
+//===- workloads/KernelBuilder.h - FORTRAN-style loop scaffolds *- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KernelBuilder layers FORTRAN DO-loop scaffolding over IRBuilder so
+/// the benchmark-routine reconstructions read like the numeric kernels
+/// they model. Loops are counted (test at the top, increment at the
+/// bottom) with 0-based induction variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_WORKLOADS_KERNELBUILDER_H
+#define RA_WORKLOADS_KERNELBUILDER_H
+
+#include "ir/IRBuilder.h"
+
+#include <string>
+
+namespace ra {
+
+/// IRBuilder plus structured-loop helpers.
+class KernelBuilder : public IRBuilder {
+public:
+  KernelBuilder(Module &M, Function &F) : IRBuilder(M, F) {}
+
+  /// An open DO loop; endDo() closes it.
+  struct LoopHandle {
+    VRegId Var = InvalidVReg;   ///< induction variable
+    VRegId Limit = InvalidVReg; ///< bound register
+    uint32_t Head = 0, Body = 0, Exit = 0;
+    int64_t Step = 1;
+    CmpKind Cmp = CmpKind::LT;
+  };
+
+  /// Emits "for (Var = Lo; Var < Limit; Var += Step)". Leaves the insert
+  /// point inside the body. \p Var must be a pre-created integer
+  /// register (so it is visibly multi-defined, like a FORTRAN index).
+  LoopHandle forLoop(const std::string &Name, VRegId Var, int64_t Lo,
+                     VRegId Limit, int64_t Step = 1) {
+    movI(Lo, Var);
+    return forLoopFrom(Name, Var, Limit, Step);
+  }
+
+  /// Same, with a register-valued lower bound. Named distinctly from
+  /// forLoop because VRegId converts implicitly to int64_t — a shared
+  /// overload set would silently misread register ids as constants.
+  LoopHandle forLoopReg(const std::string &Name, VRegId Var, VRegId Lo,
+                        VRegId Limit, int64_t Step = 1) {
+    copy(Lo, Var);
+    return forLoopFrom(Name, Var, Limit, Step);
+  }
+
+  /// Loop over an already-initialized induction variable.
+  LoopHandle forLoopFrom(const std::string &Name, VRegId Var, VRegId Limit,
+                         int64_t Step = 1) {
+    LoopHandle L;
+    L.Var = Var;
+    L.Limit = Limit;
+    L.Step = Step;
+    L.Head = newBlock(Name + ".head");
+    L.Body = newBlock(Name + ".body");
+    L.Exit = newBlock(Name + ".exit");
+    jmp(L.Head);
+    setInsertPoint(L.Head);
+    br(CmpKind::LT, Var, Limit, L.Body, L.Exit);
+    setInsertPoint(L.Body);
+    return L;
+  }
+
+  /// Emits "for (Var = Hi; Var >= Limit; Var -= 1)" — a descending
+  /// FORTRAN "DO ... -1" loop. \p Var must be pre-initialized.
+  LoopHandle downLoopFrom(const std::string &Name, VRegId Var,
+                          VRegId LimitInclusive) {
+    LoopHandle L;
+    L.Var = Var;
+    L.Limit = LimitInclusive;
+    L.Step = -1;
+    L.Cmp = CmpKind::GE;
+    L.Head = newBlock(Name + ".head");
+    L.Body = newBlock(Name + ".body");
+    L.Exit = newBlock(Name + ".exit");
+    jmp(L.Head);
+    setInsertPoint(L.Head);
+    br(CmpKind::GE, Var, LimitInclusive, L.Body, L.Exit);
+    setInsertPoint(L.Body);
+    return L;
+  }
+
+  /// Closes \p L: increments the induction variable, branches back, and
+  /// moves the insert point past the loop.
+  void endDo(const LoopHandle &L) {
+    addI(L.Var, L.Step, L.Var);
+    jmp(L.Head);
+    setInsertPoint(L.Exit);
+  }
+
+  /// An open conditional; closed by endIf() (optionally after
+  /// elseBranch()).
+  struct IfHandle {
+    uint32_t Then = 0, Else = 0, Join = 0;
+    bool HasElse = false;
+  };
+
+  /// Emits "if (A cmp B)". The insert point moves into the then-block.
+  IfHandle ifCmp(CmpKind K, VRegId A, VRegId B,
+                 const std::string &Name = "if") {
+    IfHandle H;
+    H.Then = newBlock(Name + ".then");
+    H.Join = newBlock(Name + ".join");
+    H.Else = H.Join;
+    br(K, A, B, H.Then, H.Join);
+    setInsertPoint(H.Then);
+    return H;
+  }
+
+  /// Emits "if (A cmp B) ... else ...". Insert point: then-block.
+  IfHandle ifElseCmp(CmpKind K, VRegId A, VRegId B,
+                     const std::string &Name = "if") {
+    IfHandle H;
+    H.Then = newBlock(Name + ".then");
+    H.Else = newBlock(Name + ".else");
+    H.Join = newBlock(Name + ".join");
+    H.HasElse = true;
+    br(K, A, B, H.Then, H.Else);
+    setInsertPoint(H.Then);
+    return H;
+  }
+
+  /// Ends the then-block and moves the insert point into the else-block.
+  void elseBranch(const IfHandle &H) {
+    assert(H.HasElse && "elseBranch on an if without an else");
+    jmp(H.Join);
+    setInsertPoint(H.Else);
+  }
+
+  /// Closes the conditional; the insert point moves to the join block.
+  void endIf(const IfHandle &H) {
+    jmp(H.Join);
+    setInsertPoint(H.Join);
+  }
+
+  /// Column-major 2-D index: Col * Ld + Row (FORTRAN array layout).
+  VRegId index2D(VRegId Row, VRegId Col, int64_t Ld) {
+    VRegId T = mulI(Col, Ld);
+    return add(T, Row);
+  }
+
+  /// Loads A(Row, Col) from a column-major array with leading dim \p Ld.
+  VRegId load2D(uint32_t Array, VRegId Row, VRegId Col, int64_t Ld) {
+    return load(Array, index2D(Row, Col, Ld));
+  }
+
+  /// Stores \p V to A(Row, Col).
+  void store2D(uint32_t Array, VRegId Row, VRegId Col, int64_t Ld,
+               VRegId V) {
+    store(Array, index2D(Row, Col, Ld), V);
+  }
+
+  /// Integer constant in a fresh register.
+  VRegId constI(int64_t V, const std::string &Name = "") {
+    VRegId R = iReg(Name);
+    movI(V, R);
+    return R;
+  }
+
+  /// Floating constant in a fresh register.
+  VRegId constF(double V, const std::string &Name = "") {
+    VRegId R = fReg(Name);
+    movF(V, R);
+    return R;
+  }
+};
+
+} // namespace ra
+
+#endif // RA_WORKLOADS_KERNELBUILDER_H

@@ -1,0 +1,519 @@
+//===- workloads/Linpack.cpp - LINPACK kernel reconstructions -------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// IR reconstructions of the LINPACK routines from the paper's Figure 5:
+// EPSLON, DSCAL, IDAMAX, DDOT, DAXPY (with the reference code's unrolled
+// cleanup structure), MATGEN, DGEFA, DGESL (BLAS loops inlined, since
+// the IR has no calls) and the 16x-unrolled DMXPY that Section 3.1
+// singles out. Everything is 0-based; FORTRAN column-major indexing is
+// kept via index2D.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/KernelBuilder.h"
+
+using namespace ra;
+
+namespace {
+
+/// Problem sizes: large enough to exercise the loop nests, small enough
+/// that simulated whole-program runs stay fast.
+constexpr int64_t VecN = 200;  ///< vector length for the BLAS-1 kernels
+constexpr int64_t MatN = 40;   ///< matrix order for DGEFA/DGESL/MATGEN
+constexpr int64_t Lda = MatN;  ///< leading dimension
+constexpr int64_t N1 = 40, N2 = 40; ///< DMXPY shape
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// EPSLON — machine epsilon probe.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildEPSLON(Module &M) {
+  uint32_t X = M.newArray("x", 1, RegClass::Float);
+  uint32_t Out = M.newArray("out", 1, RegClass::Float);
+  Function &F = M.newFunction("EPSLON");
+  KernelBuilder B(M, F);
+  uint32_t Entry = B.newBlock("entry");
+  B.setInsertPoint(Entry);
+
+  VRegId One = B.constF(1.0, "one");
+  VRegId FZero = B.constF(0.0, "fzero");
+  VRegId A = B.constF(4.0 / 3.0, "a");
+  VRegId Eps = B.fReg("eps");
+  B.movF(0.0, Eps);
+
+  // 10: b = a - 1; c = b + b + b; eps = |c - 1|; if (eps == 0) goto 10
+  uint32_t Loop = B.newBlock("probe");
+  uint32_t Done = B.newBlock("done");
+  B.jmp(Loop);
+  B.setInsertPoint(Loop);
+  VRegId BV = B.fsub(A, One);
+  VRegId C = B.fadd(BV, BV);
+  C = B.fadd(C, BV);
+  B.fabs(B.fsub(C, One), Eps);
+  B.br(CmpKind::EQ, Eps, FZero, Loop, Done);
+
+  B.setInsertPoint(Done);
+  VRegId Xv = B.load(X, B.constI(0, "zero"));
+  VRegId Result = B.fmul(Eps, B.fabs(Xv));
+  B.store(Out, B.constI(0), Result);
+  B.ret(Result);
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// DSCAL — dx = da * dx, unrolled by five like the reference code.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDSCAL(Module &M) {
+  uint32_t Dx = M.newArray("dx", VecN, RegClass::Float);
+  uint32_t Scal = M.newArray("scal", 1, RegClass::Float);
+  Function &F = M.newFunction("DSCAL");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(VecN, "n");
+  VRegId Da = B.load(Scal, B.constI(0, "c0"));
+  VRegId MRem = B.rem(N, B.constI(5, "c5"));
+  VRegId I = B.iReg("i");
+
+  // Cleanup: i in [0, n mod 5).
+  auto Clean = B.forLoop("clean", I, 0, MRem);
+  B.store(Dx, I, B.fmul(Da, B.load(Dx, I)));
+  B.endDo(Clean);
+
+  // Main: five elements per trip.
+  auto Main = B.forLoopFrom("main", I, N, 5);
+  for (int64_t K = 0; K < 5; ++K) {
+    VRegId Idx = K == 0 ? I : B.addI(I, K);
+    B.store(Dx, Idx, B.fmul(Da, B.load(Dx, Idx)));
+  }
+  B.endDo(Main);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// IDAMAX — index of the element with the largest magnitude.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildIDAMAX(Module &M) {
+  uint32_t Dx = M.newArray("dx", VecN, RegClass::Float);
+  uint32_t IOut = M.newArray("iout", 1, RegClass::Int);
+  Function &F = M.newFunction("IDAMAX");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(VecN, "n");
+  VRegId Best = B.iReg("best");
+  B.movI(0, Best);
+  VRegId DMax = B.fabs(B.load(Dx, Best), B.fReg("dmax"));
+
+  VRegId I = B.iReg("i");
+  auto Loop = B.forLoop("scan", I, 1, N);
+  VRegId T = B.fabs(B.load(Dx, I));
+  auto If = B.ifCmp(CmpKind::GT, T, DMax, "newmax");
+  B.copy(T, DMax);
+  B.copy(I, Best);
+  B.endIf(If);
+  B.endDo(Loop);
+
+  B.store(IOut, B.constI(0, "c0"), Best);
+  B.ret(Best);
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// DDOT — dot product, unrolled by five.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDDOT(Module &M) {
+  uint32_t Dx = M.newArray("dx", VecN, RegClass::Float);
+  uint32_t Dy = M.newArray("dy", VecN, RegClass::Float);
+  uint32_t Out = M.newArray("out", 1, RegClass::Float);
+  Function &F = M.newFunction("DDOT");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(VecN, "n");
+  VRegId DTemp = B.fReg("dtemp");
+  B.movF(0.0, DTemp);
+  VRegId MRem = B.rem(N, B.constI(5, "c5"));
+  VRegId I = B.iReg("i");
+
+  auto Clean = B.forLoop("clean", I, 0, MRem);
+  B.fadd(DTemp, B.fmul(B.load(Dx, I), B.load(Dy, I)), DTemp);
+  B.endDo(Clean);
+
+  auto Main = B.forLoopFrom("main", I, N, 5);
+  VRegId Acc = B.fmul(B.load(Dx, I), B.load(Dy, I));
+  for (int64_t K = 1; K < 5; ++K) {
+    VRegId Idx = B.addI(I, K);
+    Acc = B.fadd(Acc, B.fmul(B.load(Dx, Idx), B.load(Dy, Idx)));
+  }
+  B.fadd(DTemp, Acc, DTemp);
+  B.endDo(Main);
+
+  B.store(Out, B.constI(0, "c0"), DTemp);
+  B.ret(DTemp);
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// DAXPY — dy += da * dx, unrolled by four.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDAXPY(Module &M) {
+  uint32_t Dx = M.newArray("dx", VecN, RegClass::Float);
+  uint32_t Dy = M.newArray("dy", VecN, RegClass::Float);
+  uint32_t Scal = M.newArray("scal", 1, RegClass::Float);
+  Function &F = M.newFunction("DAXPY");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(VecN, "n");
+  VRegId Da = B.load(Scal, B.constI(0, "c0"));
+  VRegId FZero = B.constF(0.0, "fzero");
+
+  // if (da == 0) return — the reference code's early exit.
+  uint32_t EarlyRet = B.newBlock("early.ret");
+  uint32_t Work = B.newBlock("work");
+  B.br(CmpKind::EQ, Da, FZero, EarlyRet, Work);
+  B.setInsertPoint(EarlyRet);
+  B.ret();
+
+  B.setInsertPoint(Work);
+  VRegId MRem = B.rem(N, B.constI(4, "c4"));
+  VRegId I = B.iReg("i");
+
+  auto Clean = B.forLoop("clean", I, 0, MRem);
+  B.store(Dy, I, B.fadd(B.load(Dy, I), B.fmul(Da, B.load(Dx, I))));
+  B.endDo(Clean);
+
+  auto Main = B.forLoopFrom("main", I, N, 4);
+  for (int64_t K = 0; K < 4; ++K) {
+    VRegId Idx = K == 0 ? I : B.addI(I, K);
+    B.store(Dy, Idx, B.fadd(B.load(Dy, Idx), B.fmul(Da, B.load(Dx, Idx))));
+  }
+  B.endDo(Main);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// MATGEN — fill the test matrix with the LINPACK driver's generator.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildMATGEN(Module &M) {
+  uint32_t A = M.newArray("a", Lda * MatN, RegClass::Float);
+  uint32_t Bv = M.newArray("b", MatN, RegClass::Float);
+  Function &F = M.newFunction("MATGEN");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(MatN, "n");
+  VRegId Init = B.constI(1325, "init");
+  VRegId C3125 = B.constI(3125, "c3125");
+  VRegId C65536 = B.constI(65536, "c65536");
+  VRegId Scale = B.constF(1.0 / 16384.0, "scale");
+
+  VRegId J = B.iReg("j"), I = B.iReg("i");
+  auto Jl = B.forLoop("cols", J, 0, N);
+  auto Il = B.forLoop("rows", I, 0, N);
+  B.rem(B.mul(C3125, Init), C65536, Init);
+  VRegId Val = B.fmul(B.itof(B.addI(Init, -32768)), Scale);
+  B.store2D(A, I, J, Lda, Val);
+  B.endDo(Il);
+  B.endDo(Jl);
+
+  // b[i] = sum of row i.
+  auto Il2 = B.forLoop("brows", I, 0, N);
+  VRegId S = B.fReg("s");
+  B.movF(0.0, S);
+  auto Jl2 = B.forLoop("bcols", J, 0, N);
+  B.fadd(S, B.load2D(A, I, J, Lda), S);
+  B.endDo(Jl2);
+  B.store(Bv, I, S);
+  B.endDo(Il2);
+
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// DGEFA — LU factorization with partial pivoting, BLAS loops inlined.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDGEFA(Module &M) {
+  uint32_t A = M.newArray("a", Lda * MatN, RegClass::Float);
+  uint32_t Ipvt = M.newArray("ipvt", MatN, RegClass::Int);
+  uint32_t Info = M.newArray("info", 1, RegClass::Int);
+  Function &F = M.newFunction("DGEFA");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(MatN, "n");
+  VRegId Nm1 = B.addI(N, -1);
+  VRegId FZero = B.constF(0.0, "fzero");
+  VRegId NegOne = B.constF(-1.0, "negone");
+  VRegId IZero = B.constI(0, "izero");
+  B.store(Info, IZero, IZero);
+
+  VRegId K = B.iReg("k");
+  auto Kl = B.forLoop("elim", K, 0, Nm1);
+  VRegId Kp1 = B.addI(K, 1);
+
+  // Inlined IDAMAX over column k, rows k..n-1.
+  VRegId L = B.iReg("l");
+  B.copy(K, L);
+  VRegId DMax = B.fabs(B.load2D(A, K, K, Lda), B.fReg("dmax"));
+  VRegId I = B.iReg("i");
+  auto Pivot = B.forLoopReg("pivot", I, Kp1, N);
+  {
+    VRegId T = B.fabs(B.load2D(A, I, K, Lda));
+    auto If = B.ifCmp(CmpKind::GT, T, DMax, "newpiv");
+    B.copy(T, DMax);
+    B.copy(I, L);
+    B.endIf(If);
+  }
+  B.endDo(Pivot);
+  B.store(Ipvt, K, L);
+
+  VRegId PivVal = B.load2D(A, L, K, Lda);
+  auto NonZero = B.ifElseCmp(CmpKind::NE, PivVal, FZero, "nonzero");
+  {
+    // Swap the pivot element into place if needed.
+    auto Swap = B.ifCmp(CmpKind::NE, L, K, "swap.piv");
+    {
+      VRegId Akk = B.load2D(A, K, K, Lda);
+      B.store2D(A, L, K, Lda, Akk);
+      B.store2D(A, K, K, Lda, PivVal);
+    }
+    B.endIf(Swap);
+
+    // Inlined DSCAL: scale the subdiagonal of column k by -1/pivot.
+    VRegId T = B.fdiv(NegOne, B.load2D(A, K, K, Lda));
+    auto Scale = B.forLoopReg("scale", I, Kp1, N);
+    B.store2D(A, I, K, Lda, B.fmul(T, B.load2D(A, I, K, Lda)));
+    B.endDo(Scale);
+
+    // Column updates: inlined DAXPY per trailing column.
+    VRegId J = B.iReg("j");
+    auto Jl = B.forLoopReg("update", J, Kp1, N);
+    {
+      VRegId Tj = B.load2D(A, L, J, Lda);
+      auto Swap2 = B.ifCmp(CmpKind::NE, L, K, "swap.col");
+      {
+        B.store2D(A, L, J, Lda, B.load2D(A, K, J, Lda));
+        B.store2D(A, K, J, Lda, Tj);
+      }
+      B.endIf(Swap2);
+      auto Axpy = B.forLoopReg("axpy", I, Kp1, N);
+      VRegId Upd = B.fadd(B.load2D(A, I, J, Lda),
+                          B.fmul(Tj, B.load2D(A, I, K, Lda)));
+      B.store2D(A, I, J, Lda, Upd);
+      B.endDo(Axpy);
+    }
+    B.endDo(Jl);
+  }
+  B.elseBranch(NonZero);
+  {
+    B.store(Info, IZero, Kp1); // zero pivot: record k+1, keep going
+  }
+  B.endIf(NonZero);
+  B.endDo(Kl);
+
+  B.store(Ipvt, Nm1, Nm1);
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// DGESL — solve A*x = b using DGEFA's factors. Both of the reference
+// code's paths are present (job = 0 solves A*x = b with axpy loops;
+// job != 0 solves trans(A)*x = b with dot-product loops), which is why
+// the paper's DGESL is twice DGEFA's live-range count.
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDGESL(Module &M) {
+  uint32_t A = M.newArray("a", Lda * MatN, RegClass::Float);
+  uint32_t Bv = M.newArray("b", MatN, RegClass::Float);
+  uint32_t Ipvt = M.newArray("ipvt", MatN, RegClass::Int);
+  uint32_t Job = M.newArray("job", 1, RegClass::Int);
+  Function &F = M.newFunction("DGESL");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N = B.constI(MatN, "n");
+  VRegId Nm1 = B.addI(N, -1);
+  VRegId IZero = B.constI(0, "izero");
+  VRegId K = B.iReg("k"), I = B.iReg("i");
+
+  VRegId JobV = B.load(Job, IZero);
+  uint32_t Direct = B.newBlock("direct");
+  uint32_t Transpose = B.newBlock("transpose");
+  uint32_t Done = B.newBlock("done");
+  B.br(CmpKind::EQ, JobV, IZero, Direct, Transpose);
+
+  //===------------------------------------------------------------===//
+  // job == 0: solve A*x = b.
+  //===------------------------------------------------------------===//
+  B.setInsertPoint(Direct);
+  // Forward elimination: b = L^-1 * P * b.
+  auto Fwd = B.forLoop("fwd", K, 0, Nm1);
+  {
+    VRegId L = B.load(Ipvt, K);
+    VRegId T = B.load(Bv, L);
+    auto Swap = B.ifCmp(CmpKind::NE, L, K, "swap");
+    {
+      B.store(Bv, L, B.load(Bv, K));
+      B.store(Bv, K, T);
+    }
+    B.endIf(Swap);
+    VRegId Kp1 = B.addI(K, 1);
+    auto Axpy = B.forLoopReg("axpy", I, Kp1, N);
+    VRegId Upd =
+        B.fadd(B.load(Bv, I), B.fmul(T, B.load2D(A, I, K, Lda)));
+    B.store(Bv, I, Upd);
+    B.endDo(Axpy);
+  }
+  B.endDo(Fwd);
+
+  // Back substitution: b = U^-1 * b.
+  B.copy(Nm1, K);
+  auto Back = B.downLoopFrom("back", K, IZero);
+  {
+    VRegId Bk = B.fdiv(B.load(Bv, K), B.load2D(A, K, K, Lda));
+    B.store(Bv, K, Bk);
+    VRegId T = B.fneg(Bk);
+    auto Axpy = B.forLoop("baxpy", I, 0, K);
+    VRegId Upd =
+        B.fadd(B.load(Bv, I), B.fmul(T, B.load2D(A, I, K, Lda)));
+    B.store(Bv, I, Upd);
+    B.endDo(Axpy);
+  }
+  B.endDo(Back);
+  B.jmp(Done);
+
+  //===------------------------------------------------------------===//
+  // job != 0: solve trans(A)*x = b with inlined DDOT loops.
+  //===------------------------------------------------------------===//
+  B.setInsertPoint(Transpose);
+  auto TFwd = B.forLoop("tfwd", K, 0, N);
+  {
+    VRegId T = B.fReg("tdot");
+    B.movF(0.0, T);
+    auto Dot = B.forLoop("tdot.i", I, 0, K);
+    B.fadd(T, B.fmul(B.load2D(A, I, K, Lda), B.load(Bv, I)), T);
+    B.endDo(Dot);
+    VRegId Bk = B.fdiv(B.fsub(B.load(Bv, K), T), B.load2D(A, K, K, Lda));
+    B.store(Bv, K, Bk);
+  }
+  B.endDo(TFwd);
+
+  B.copy(B.addI(Nm1, -1), K);
+  auto TBack = B.downLoopFrom("tback", K, IZero);
+  {
+    VRegId Kp1 = B.addI(K, 1);
+    VRegId T = B.fReg("tdot2");
+    B.movF(0.0, T);
+    auto Dot = B.forLoopReg("tback.i", I, Kp1, N);
+    B.fadd(T, B.fmul(B.load2D(A, I, K, Lda), B.load(Bv, I)), T);
+    B.endDo(Dot);
+    B.store(Bv, K, B.fadd(B.load(Bv, K), T));
+    VRegId L = B.load(Ipvt, K);
+    auto Swap = B.ifCmp(CmpKind::NE, L, K, "tswap");
+    {
+      VRegId Tl = B.load(Bv, L);
+      B.store(Bv, L, B.load(Bv, K));
+      B.store(Bv, K, Tl);
+    }
+    B.endIf(Swap);
+  }
+  B.endDo(TBack);
+  B.jmp(Done);
+
+  B.setInsertPoint(Done);
+  B.ret();
+  return F;
+}
+
+//===--------------------------------------------------------------------===//
+// DMXPY — y += M * x with the reference code's 16-way unrolled column
+// loop (Section 3.1's "how one reasonable optimization can reduce the
+// effectiveness of later optimizations").
+//===--------------------------------------------------------------------===//
+
+Function &ra::buildDMXPY(Module &M) {
+  uint32_t Y = M.newArray("y", N1, RegClass::Float);
+  uint32_t X = M.newArray("x", N2, RegClass::Float);
+  uint32_t Mat = M.newArray("m", Lda * N2, RegClass::Float);
+  Function &F = M.newFunction("DMXPY");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId N1R = B.constI(N1, "n1");
+  VRegId N2R = B.constI(N2, "n2");
+  VRegId I = B.iReg("i");
+  VRegId J = B.iReg("j");
+
+  // Emits one cleanup section: if (n2 mod Width*2 >= Width) handle the
+  // Width columns ending at (n2 mod Width*2) - 1 in a single i-loop.
+  auto CleanupSection = [&](int64_t Width, const char *Name) {
+    VRegId Rem = B.rem(N2R, B.constI(Width * 2));
+    VRegId WidthR = B.constI(Width);
+    auto If = B.ifCmp(CmpKind::GE, Rem, WidthR, Name);
+    {
+      // Hoisted x values and column bases for the Width columns.
+      std::vector<VRegId> Xs(Width), Bases(Width);
+      for (int64_t C = 0; C < Width; ++C) {
+        VRegId Col = B.addI(Rem, C - Width);
+        Xs[C] = B.load(X, Col);
+        Bases[C] = B.mulI(Col, Lda);
+      }
+      auto Il = B.forLoop(std::string(Name) + ".rows", I, 0, N1R);
+      VRegId Acc = B.load(Y, I);
+      for (int64_t C = 0; C < Width; ++C)
+        Acc = B.fadd(Acc, B.fmul(Xs[C], B.load(Mat, B.add(Bases[C], I))));
+      B.store(Y, I, Acc);
+      B.endDo(Il);
+    }
+    B.endIf(If);
+  };
+
+  CleanupSection(1, "odd");
+  CleanupSection(2, "mod2");
+  CleanupSection(4, "mod4");
+  CleanupSection(8, "mod8");
+
+  // Main loop: columns j-15..j, sixteen at a trip.
+  VRegId JMin = B.rem(N2R, B.constI(16, "c16"));
+  B.addI(JMin, 15, J);
+  auto Main = B.forLoopFrom("main", J, N2R, 16);
+  {
+    std::vector<VRegId> Xs(16), Bases(16);
+    for (int64_t C = 0; C < 16; ++C) {
+      VRegId Col = B.addI(J, C - 15);
+      Xs[C] = B.load(X, Col);
+      Bases[C] = B.mulI(Col, Lda);
+    }
+    auto Il = B.forLoop("main.rows", I, 0, N1R);
+    VRegId Acc = B.load(Y, I);
+    for (int64_t C = 0; C < 16; ++C)
+      Acc = B.fadd(Acc, B.fmul(Xs[C], B.load(Mat, B.add(Bases[C], I))));
+    B.store(Y, I, Acc);
+    B.endDo(Il);
+  }
+  B.endDo(Main);
+
+  B.ret();
+  return F;
+}

@@ -1,0 +1,165 @@
+//===- workloads/Quicksort.cpp - Wirth's non-recursive quicksort ----------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The Figure 6 study program: the non-recursive quicksort from Wirth's
+// "Algorithms + Data Structures = Programs", with an explicit segment
+// stack and smaller-partition-first iteration. All-integer code, so the
+// quality of integer spill code shows directly in the running time —
+// exactly why the paper uses it to study shrinking register files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/KernelBuilder.h"
+
+using namespace ra;
+
+Function &ra::buildQuicksort(Module &M, uint32_t N) {
+  uint32_t Data = M.newArray("data", N, RegClass::Int);
+  uint32_t StkL = M.newArray("stkl", 64, RegClass::Int);
+  uint32_t StkR = M.newArray("stkr", 64, RegClass::Int);
+  Function &F = M.newFunction("QUICKSORT");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  VRegId IZero = B.constI(0, "izero");
+  VRegId Two = B.constI(2, "two");
+  VRegId S = B.iReg("s");
+  VRegId L = B.iReg("l"), R = B.iReg("r");
+  VRegId I = B.iReg("i"), J = B.iReg("j");
+
+  // Array base addresses, register-resident for the whole routine as a
+  // 1980s code generator would keep them (their value is zero in this
+  // address-free IR; what matters is the register pressure and the
+  // add-per-access, which the machine really paid).
+  VRegId BaseD = B.constI(0, "base.data");
+  VRegId BaseL = B.constI(0, "base.stkl");
+  VRegId BaseR = B.constI(0, "base.stkr");
+  auto DataAt = [&](VRegId Idx) { return B.add(BaseD, Idx); };
+  auto StkLAt = [&](VRegId Idx) { return B.add(BaseL, Idx); };
+  auto StkRAt = [&](VRegId Idx) { return B.add(BaseR, Idx); };
+
+  // Push the whole range.
+  B.movI(0, S);
+  B.store(StkL, StkLAt(S), IZero);
+  B.store(StkR, StkRAt(S), B.constI(int64_t(N) - 1, "nm1"));
+
+  // Outer loop: pop a segment while the stack is non-empty.
+  uint32_t OuterHead = B.newBlock("outer.head");
+  uint32_t OuterBody = B.newBlock("outer.body");
+  uint32_t Done = B.newBlock("done");
+  B.jmp(OuterHead);
+  B.setInsertPoint(OuterHead);
+  B.br(CmpKind::GE, S, IZero, OuterBody, Done);
+
+  B.setInsertPoint(OuterBody);
+  B.load(StkL, StkLAt(S), L);
+  B.load(StkR, StkRAt(S), R);
+  B.addI(S, -1, S);
+
+  // Partition loop: while (l < r) split the segment.
+  uint32_t PartHead = B.newBlock("part.head");
+  uint32_t PartBody = B.newBlock("part.body");
+  B.jmp(PartHead);
+  B.setInsertPoint(PartHead);
+  B.br(CmpKind::LT, L, R, PartBody, OuterHead);
+
+  B.setInsertPoint(PartBody);
+  B.copy(L, I);
+  B.copy(R, J);
+  VRegId Mid = B.div(B.add(L, R), Two);
+  VRegId Pivot = B.load(Data, DataAt(Mid), B.iReg("pivot"));
+
+  // Scan pointers toward each other.
+  uint32_t UpHead = B.newBlock("up.head");
+  uint32_t UpInc = B.newBlock("up.inc");
+  uint32_t DownHead = B.newBlock("down.head");
+  uint32_t DownDec = B.newBlock("down.dec");
+  uint32_t Check = B.newBlock("check");
+  uint32_t Swap = B.newBlock("swap");
+  uint32_t ScanExit = B.newBlock("scan.exit");
+
+  B.jmp(UpHead);
+  B.setInsertPoint(UpHead);
+  VRegId Xi = B.load(Data, DataAt(I), B.iReg("xi"));
+  B.br(CmpKind::LT, Xi, Pivot, UpInc, DownHead);
+  B.setInsertPoint(UpInc);
+  B.addI(I, 1, I);
+  B.jmp(UpHead);
+
+  B.setInsertPoint(DownHead);
+  VRegId Xj = B.load(Data, DataAt(J), B.iReg("xj"));
+  B.br(CmpKind::LT, Pivot, Xj, DownDec, Check);
+  B.setInsertPoint(DownDec);
+  B.addI(J, -1, J);
+  B.jmp(DownHead);
+
+  B.setInsertPoint(Check);
+  B.br(CmpKind::LE, I, J, Swap, ScanExit);
+  B.setInsertPoint(Swap);
+  VRegId Ti = B.load(Data, DataAt(I), B.iReg("ti"));
+  VRegId Tj = B.load(Data, DataAt(J), B.iReg("tj"));
+  B.store(Data, DataAt(I), Tj);
+  B.store(Data, DataAt(J), Ti);
+  B.addI(I, 1, I);
+  B.addI(J, -1, J);
+  B.br(CmpKind::LE, I, J, UpHead, ScanExit);
+
+  // Push the larger partition, iterate on the smaller one.
+  B.setInsertPoint(ScanExit);
+  VRegId DLeft = B.sub(J, L);
+  VRegId DRight = B.sub(R, I);
+  uint32_t LeftSmall = B.newBlock("left.small");
+  uint32_t RightSmall = B.newBlock("right.small");
+  B.br(CmpKind::LT, DLeft, DRight, LeftSmall, RightSmall);
+
+  B.setInsertPoint(LeftSmall);
+  {
+    uint32_t PushR = B.newBlock("push.right");
+    uint32_t AfterR = B.newBlock("after.right");
+    B.br(CmpKind::LT, I, R, PushR, AfterR);
+    B.setInsertPoint(PushR);
+    B.addI(S, 1, S);
+    B.store(StkL, StkLAt(S), I);
+    B.store(StkR, StkRAt(S), R);
+    B.jmp(AfterR);
+    B.setInsertPoint(AfterR);
+    B.copy(J, R);
+    B.jmp(PartHead);
+  }
+
+  B.setInsertPoint(RightSmall);
+  {
+    uint32_t PushL = B.newBlock("push.left");
+    uint32_t AfterL = B.newBlock("after.left");
+    B.br(CmpKind::LT, L, J, PushL, AfterL);
+    B.setInsertPoint(PushL);
+    B.addI(S, 1, S);
+    B.store(StkL, StkLAt(S), L);
+    B.store(StkR, StkRAt(S), J);
+    B.jmp(AfterL);
+    B.setInsertPoint(AfterL);
+    B.copy(I, L);
+    B.jmp(PartHead);
+  }
+
+  B.setInsertPoint(Done);
+  B.ret();
+  return F;
+}
+
+void ra::initQuicksortMemory(const Module &M, MemoryImage &Mem) {
+  uint32_t Data = M.findArray("data");
+  assert(Data != ~0u && "quicksort module has no data array");
+  std::vector<int64_t> &D = Mem.intArray(Data);
+  // Deterministic LCG fill.
+  uint64_t State = 0x2545F4914F6CDD1Dull;
+  for (int64_t &V : D) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    V = int64_t(State >> 33) % 1000000;
+  }
+}

@@ -1,0 +1,188 @@
+//===- workloads/RandomProgram.cpp - Random structured programs -----------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/RandomProgram.h"
+
+#include "support/Rng.h"
+#include "workloads/KernelBuilder.h"
+
+using namespace ra;
+
+namespace {
+
+/// One generator run.
+class ProgramGen {
+public:
+  ProgramGen(Module &M, Function &F, uint64_t Seed,
+             const RandomProgramConfig &C)
+      : B(M, F), Rng_(Seed), C(C) {}
+
+  Function &run() {
+    B.setInsertPoint(B.newBlock("entry"));
+    IntArr = B.module().newArray("ints", C.ArraySize, RegClass::Int);
+    FltArr = B.module().newArray("flts", C.ArraySize, RegClass::Float);
+
+    // Scalar pools, all initialized up front so any later assignment
+    // keeps definite assignment trivially true.
+    for (unsigned I = 0; I < C.IntVars; ++I) {
+      VRegId R = B.iReg("iv" + std::to_string(I));
+      B.movI(int64_t(Rng_.nextInRange(-20, 20)), R);
+      IntVars.push_back(R);
+    }
+    for (unsigned I = 0; I < C.FloatVars; ++I) {
+      VRegId R = B.fReg("fv" + std::to_string(I));
+      B.movF(Rng_.nextDouble() * 4 - 2, R);
+      FloatVars.push_back(R);
+    }
+
+    for (unsigned R = 0; R < C.Regions; ++R)
+      emitRegion(0);
+
+    // Fold every scalar into one observable return value.
+    VRegId Acc = B.iReg("acc");
+    B.movI(0, Acc);
+    for (VRegId V : IntVars)
+      B.add(Acc, V, Acc);
+    VRegId FAcc = B.fReg("facc");
+    B.movF(0.0, FAcc);
+    for (VRegId V : FloatVars)
+      B.fadd(FAcc, V, FAcc);
+    // Stores so float state is observable in memory too.
+    VRegId Slot = B.constI(0);
+    B.store(FltArr, Slot, FAcc);
+    B.ret(Acc);
+    return B.function();
+  }
+
+private:
+  VRegId pickInt() { return IntVars[Rng_.nextBelow(IntVars.size())]; }
+  VRegId pickFloat() { return FloatVars[Rng_.nextBelow(FloatVars.size())]; }
+
+  /// Emits one straight-line statement.
+  void emitStatement() {
+    switch (Rng_.nextBelow(10)) {
+    case 0: { // int arithmetic
+      VRegId D = pickInt();
+      Opcode Op = Rng_.nextBool() ? Opcode::Add : Opcode::Sub;
+      B.binop(Op, pickInt(), pickInt(), D, RegClass::Int);
+      break;
+    }
+    case 1: // int immediate form
+      B.addI(pickInt(), Rng_.nextInRange(-5, 5), pickInt());
+      break;
+    case 2: { // float arithmetic
+      VRegId D = pickFloat();
+      static const Opcode Ops[] = {Opcode::FAdd, Opcode::FSub, Opcode::FMul};
+      B.binop(Ops[Rng_.nextBelow(3)], pickFloat(), pickFloat(), D,
+              RegClass::Float);
+      break;
+    }
+    case 3: // float division by a safe constant
+      B.fdiv(pickFloat(), B.constF(1.5 + Rng_.nextDouble()), pickFloat());
+      break;
+    case 4: // conversions
+      if (Rng_.nextBool())
+        B.itof(pickInt(), pickFloat());
+      else
+        B.fabs(pickFloat(), pickFloat());
+      break;
+    case 5: { // array traffic through a bounded index
+      VRegId Idx = boundedIndex();
+      if (Rng_.nextBool())
+        B.load(FltArr, Idx, pickFloat());
+      else
+        B.store(FltArr, Idx, pickFloat());
+      break;
+    }
+    case 6: { // int array traffic
+      VRegId Idx = boundedIndex();
+      if (Rng_.nextBool())
+        B.load(IntArr, Idx, pickInt());
+      else
+        B.store(IntArr, Idx, pickInt());
+      break;
+    }
+    case 7: // copies (coalescing fodder)
+      if (Rng_.nextBool())
+        B.copy(pickInt(), pickInt());
+      else
+        B.copy(pickFloat(), pickFloat());
+      break;
+    case 8: // fresh temporaries chained into the pool
+      B.fadd(B.fmul(pickFloat(), pickFloat()), pickFloat(), pickFloat());
+      break;
+    case 9: // constant reload
+      if (Rng_.nextBool())
+        B.movI(Rng_.nextInRange(-9, 9), pickInt());
+      else
+        B.movF(Rng_.nextDouble() - 0.5, pickFloat());
+      break;
+    }
+  }
+
+  /// Index guaranteed in [0, ArraySize): a masked rem of an int var,
+  /// computed through a fresh temporary chain.
+  VRegId boundedIndex() {
+    VRegId T = B.rem(pickInt(), B.constI(int64_t(C.ArraySize)));
+    // rem can be negative; fold to the non-negative half.
+    VRegId Sq = B.mul(T, T);
+    return B.rem(Sq, B.constI(int64_t(C.ArraySize)));
+  }
+
+  void emitStraightLine() {
+    unsigned N = 1 + Rng_.nextBelow(C.StatementsPerBlock);
+    for (unsigned I = 0; I < N; ++I)
+      emitStatement();
+  }
+
+  /// One region: straight-line code, an if, or a bounded loop, possibly
+  /// nesting further regions.
+  void emitRegion(unsigned Depth) {
+    emitStraightLine();
+    if (Depth >= C.MaxDepth)
+      return;
+    switch (Rng_.nextBelow(3)) {
+    case 0: // plain block
+      break;
+    case 1: { // if / if-else
+      if (Rng_.nextBool()) {
+        auto H = B.ifCmp(CmpKind::LT, pickInt(), pickInt(), "rif");
+        emitRegion(Depth + 1);
+        B.endIf(H);
+      } else {
+        auto H = B.ifElseCmp(CmpKind::GE, pickInt(), pickInt(), "rife");
+        emitRegion(Depth + 1);
+        B.elseBranch(H);
+        emitRegion(Depth + 1);
+        B.endIf(H);
+      }
+      break;
+    }
+    case 2: { // bounded counter loop (fresh induction variable)
+      VRegId Var = B.iReg("loop" + std::to_string(Depth));
+      VRegId Limit = B.constI(C.LoopTrip);
+      auto L = B.forLoop("rl" + std::to_string(Depth), Var, 0, Limit);
+      emitRegion(Depth + 1);
+      B.endDo(L);
+      break;
+    }
+    }
+  }
+
+  KernelBuilder B;
+  Rng Rng_;
+  RandomProgramConfig C;
+  uint32_t IntArr = 0, FltArr = 0;
+  std::vector<VRegId> IntVars, FloatVars;
+};
+
+} // namespace
+
+Function &ra::buildRandomProgram(Module &M, uint64_t Seed,
+                                 const RandomProgramConfig &C) {
+  Function &F = M.newFunction("random." + std::to_string(Seed));
+  return ProgramGen(M, F, Seed, C).run();
+}

@@ -1,0 +1,43 @@
+//===- workloads/RandomProgram.h - Random structured programs --*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generator of random structured programs for property testing.
+/// Generated programs are verifier-clean by construction (every use is
+/// dominated by a definition), terminate (loops are bounded counters)
+/// and never trap (array indices are loop counters, divisors are
+/// nonzero constants), so they can be executed before and after
+/// allocation and compared exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_WORKLOADS_RANDOMPROGRAM_H
+#define RA_WORKLOADS_RANDOMPROGRAM_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+
+namespace ra {
+
+/// Tuning knobs for the generator.
+struct RandomProgramConfig {
+  unsigned MaxDepth = 3;          ///< loop/if nesting bound
+  unsigned StatementsPerBlock = 8;///< straight-line chunk size
+  unsigned Regions = 6;           ///< sequential loop/if regions
+  unsigned IntVars = 6;           ///< mutable integer scalar pool
+  unsigned FloatVars = 6;         ///< mutable float scalar pool
+  unsigned ArraySize = 16;
+  int64_t LoopTrip = 5;           ///< iterations per generated loop
+};
+
+/// Builds one random function into \p M and returns it.
+Function &buildRandomProgram(Module &M, uint64_t Seed,
+                             const RandomProgramConfig &C = {});
+
+} // namespace ra
+
+#endif // RA_WORKLOADS_RANDOMPROGRAM_H

@@ -1,0 +1,254 @@
+//===- workloads/Svd.cpp - the paper's motivating SVD routine -------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// A reconstruction of the singular value decomposition routine from
+// Forsythe, Malcolm & Moler that motivated the paper (Section 1.2,
+// Figure 1): initialization code, a small doubly-nested array copy, and
+// three large, complex loop nests, with about a dozen long live ranges
+// (loop limits, tolerances, accumulators, unit constants) extending
+// from the initialization through the copy loop and into the nests.
+// The numerics follow the Householder-bidiagonalization /
+// rotation-sweep shape of the original but are simplified to a
+// deterministic, trap-free computation; the register-pressure structure
+// is what matters for the reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/KernelBuilder.h"
+
+using namespace ra;
+
+namespace {
+constexpr int64_t Mm = 24;  ///< rows
+constexpr int64_t Nn = 12;  ///< columns
+constexpr int64_t Ld = Mm;  ///< leading dimension
+} // namespace
+
+Function &ra::buildSVD(Module &M) {
+  uint32_t A = M.newArray("a", Ld * Nn, RegClass::Float);
+  uint32_t U = M.newArray("u", Ld * Nn, RegClass::Float);
+  uint32_t W = M.newArray("w", Nn, RegClass::Float);
+  uint32_t Rv = M.newArray("rv", Nn, RegClass::Float);
+  uint32_t Out = M.newArray("out", 1, RegClass::Float);
+  Function &F = M.newFunction("SVD");
+  KernelBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+
+  //===----------------------------------------------------------------===//
+  // Initialization: the long live ranges. All of these stay live across
+  // the copy loop and into the three big nests.
+  //===----------------------------------------------------------------===//
+  VRegId IZero = B.constI(0, "izero");
+  VRegId Mr = B.constI(Mm, "m");
+  VRegId Nr = B.constI(Nn, "n");
+  VRegId Nm1 = B.addI(Nr, -1, B.iReg("nm1"));
+  VRegId ItMax = B.constI(3, "itmax");
+  // Exactly six entry-defined floating scalars stay live through the
+  // copy loop and all three nests (more would form a clique larger
+  // than the FP file and drown the story; the rest of the "dozen" are
+  // staged per nest below).
+  VRegId One = B.constF(1.0, "one");
+  VRegId Half = B.constF(0.5, "half");
+  VRegId Eps = B.constF(1.5e-8, "eps");
+  VRegId Tol = B.constF(1.0e-20, "tol");
+  VRegId Wgt = B.constF(1.02, "wgt");
+  VRegId Dmp = B.constF(0.97, "dmp");
+
+  VRegId I = B.iReg("i"), J = B.iReg("j"), K = B.iReg("k");
+  VRegId L = B.iReg("l"), It = B.iReg("it");
+
+  //===----------------------------------------------------------------===//
+  // The small doubly-nested array copy (Figure 1): u = a, two elements
+  // per trip. The staggered temporaries have degree equal to the FP
+  // file yet their neighborhoods stay colorable — the Figure 3 shape
+  // that tempts Chaitin's simplification into pointless spills.
+  //===----------------------------------------------------------------===//
+  auto CopyJ = B.forLoop("copy.j", J, 0, Nr);
+  auto CopyI = B.forLoop("copy.i", I, 0, Mr, 2);
+  {
+    VRegId Ip1 = B.addI(I, 1);
+    VRegId Ta = B.load2D(A, I, J, Ld);
+    VRegId Tb = B.load2D(A, Ip1, J, Ld);
+    VRegId Ua = B.fmul(Ta, One);
+    VRegId Ub = B.fmul(Tb, One);
+    B.store2D(U, I, J, Ld, Ua);
+    B.store2D(U, Ip1, J, Ld, Ub);
+  }
+  B.endDo(CopyI);
+  B.endDo(CopyJ);
+
+  //===----------------------------------------------------------------===//
+  // Nest 1: Householder-style column reduction. ANorm and Zero1 join
+  // the long ranges here (staggered lifetimes, not one big clique).
+  //===----------------------------------------------------------------===//
+  VRegId ANorm = B.fReg("anorm");
+  B.movF(0.0, ANorm);
+  VRegId Zero1 = B.fReg("zero1");
+  B.movF(0.0, Zero1);
+  auto N1K = B.forLoop("house.k", K, 0, Nr);
+  {
+    // Column magnitude: scale = sum |u(i,k)|, i = k..m-1.
+    VRegId Scale = B.fReg("scale");
+    B.movF(0.0, Scale);
+    auto SL = B.forLoopReg("house.scale", I, K, Mr);
+    B.fadd(Scale, B.fabs(B.load2D(U, I, K, Ld)), Scale);
+    B.endDo(SL);
+
+    auto NonZero = B.ifElseCmp(CmpKind::GT, Scale, Tol, "house.live");
+    {
+      // f = sum u(i,k)^2; g = -sqrt(f); h = f - u(k,k)*g.
+      VRegId Fv = B.fReg("f");
+      B.movF(0.0, Fv);
+      auto QL = B.forLoopReg("house.sq", I, K, Mr);
+      VRegId T = B.load2D(U, I, K, Ld);
+      B.fadd(Fv, B.fmul(T, T), Fv);
+      B.endDo(QL);
+      VRegId G = B.fneg(B.fsqrt(Fv), B.fReg("g"));
+      VRegId Ukk = B.load2D(U, K, K, Ld);
+      VRegId H = B.fsub(Fv, B.fmul(Ukk, G), B.fReg("h"));
+      B.store(W, K, G);
+      B.store(Rv, K, B.fmul(G, Eps));
+
+      // anorm = max(anorm, |g| + scale*half).
+      VRegId Cand = B.fadd(B.fabs(G), B.fmul(Scale, Half));
+      auto MaxIf = B.ifCmp(CmpKind::GT, Cand, ANorm, "house.norm");
+      B.copy(Cand, ANorm);
+      B.endIf(MaxIf);
+
+      // Apply the reflector to the trailing columns.
+      VRegId Kp1 = B.addI(K, 1);
+      auto TJ = B.forLoopReg("house.j", J, Kp1, Nr);
+      {
+        VRegId S = B.fReg("s");
+        B.movF(0.0, S);
+        auto DotL = B.forLoopReg("house.dot", I, K, Mr);
+        B.fadd(S, B.fmul(B.load2D(U, I, K, Ld), B.load2D(U, I, J, Ld)), S);
+        B.endDo(DotL);
+        VRegId Fac = B.fdiv(S, H);
+        auto UpdL = B.forLoopReg("house.upd", I, K, Mr);
+        VRegId Unew = B.fadd(B.fmul(B.load2D(U, I, J, Ld), Dmp),
+                             B.fmul(B.fmul(Fac, Wgt),
+                                    B.load2D(U, I, K, Ld)));
+        B.store2D(U, I, J, Ld, B.fadd(Unew, B.fmul(Eps, Half)));
+        B.endDo(UpdL);
+      }
+      B.endDo(TJ);
+    }
+    B.elseBranch(NonZero);
+    {
+      B.store(W, K, Zero1);
+      B.store(Rv, K, Zero1);
+    }
+    B.endIf(NonZero);
+  }
+  B.endDo(N1K);
+
+  //===----------------------------------------------------------------===//
+  // Nest 2: accumulation of the transformations (descending columns).
+  // Two and Zero2 are this nest's stage scalars.
+  //===----------------------------------------------------------------===//
+  VRegId Two = B.fadd(One, One, B.fReg("two"));
+  VRegId Zero2 = B.fReg("zero2");
+  B.movF(0.0, Zero2);
+  B.copy(Nm1, K);
+  auto N2K = B.downLoopFrom("accum.k", K, IZero);
+  {
+    VRegId G2 = B.load(W, K);
+    auto Live = B.ifElseCmp(CmpKind::NE, G2, Zero2, "accum.live");
+    {
+      VRegId Kp1 = B.addI(K, 1);
+      auto AJ = B.forLoopReg("accum.j", J, Kp1, Nr);
+      {
+        VRegId S = B.fReg("s2");
+        B.movF(0.0, S);
+        auto DotL = B.forLoopReg("accum.dot", I, K, Mr);
+        B.fadd(S, B.fmul(B.load2D(U, I, K, Ld), B.load2D(U, I, J, Ld)), S);
+        B.endDo(DotL);
+        VRegId Fac = B.fdiv(B.fmul(S, Two), B.fadd(B.fabs(G2), Tol));
+        auto UpdL = B.forLoopReg("accum.upd", I, K, Mr);
+        VRegId Unew = B.fsub(B.fmul(B.load2D(U, I, J, Ld), Wgt),
+                             B.fmul(B.fmul(Fac, Dmp),
+                                    B.load2D(U, I, K, Ld)));
+        B.store2D(U, I, J, Ld, Unew);
+        B.endDo(UpdL);
+      }
+      B.endDo(AJ);
+      VRegId Inv = B.fdiv(One, B.fadd(B.fabs(G2), Tol));
+      auto ScL = B.forLoopReg("accum.scale", I, K, Mr);
+      B.store2D(U, I, K, Ld, B.fmul(B.load2D(U, I, K, Ld), Inv));
+      B.endDo(ScL);
+    }
+    B.elseBranch(Live);
+    {
+      auto ZL = B.forLoopReg("accum.zero", I, K, Mr);
+      B.store2D(U, I, K, Ld, Zero2);
+      B.endDo(ZL);
+    }
+    B.endIf(Live);
+    VRegId Diag = B.fadd(B.load2D(U, K, K, Ld), One);
+    B.store2D(U, K, K, Ld, Diag);
+  }
+  B.endDo(N2K);
+
+  //===----------------------------------------------------------------===//
+  // Nest 3: rotation sweeps (QR-iteration shape, bounded trip count).
+  //===----------------------------------------------------------------===//
+  auto Sweep = B.forLoop("qr.it", It, 0, ItMax);
+  {
+    // Per-sweep stage scalar (depends on the sweep counter, so it
+    // cannot be hoisted into the entry block).
+    VRegId RotA = B.fadd(B.fmul(B.itof(It), Eps), One);
+    auto SwL = B.forLoop("qr.l", L, 0, Nr);
+    {
+      VRegId X = B.fmul(B.load(W, L), RotA);
+      VRegId Yv = B.fmul(B.load(Rv, L), Dmp);
+      VRegId H3 =
+          B.fsqrt(B.fadd(B.fadd(B.fmul(X, X), B.fmul(Yv, Yv)), Eps));
+      VRegId C = B.fdiv(X, H3);
+      VRegId S = B.fdiv(Yv, H3);
+      B.store(W, L, B.fmul(H3, Wgt));
+
+      // Rotate columns l and l2 = min(l+1, n-1).
+      VRegId L2 = B.iReg("l2");
+      auto LastCol = B.ifElseCmp(CmpKind::LT, L, Nm1, "qr.l2");
+      B.addI(L, 1, L2);
+      B.elseBranch(LastCol);
+      B.copy(L, L2);
+      B.endIf(LastCol);
+
+      auto RotL = B.forLoop("qr.rot", I, 0, Mr);
+      {
+        VRegId T1 = B.load2D(U, I, L, Ld);
+        VRegId T2 = B.load2D(U, I, L2, Ld);
+        VRegId NewL = B.fadd(B.fmul(C, T1), B.fmul(S, T2));
+        VRegId NewL2 = B.fsub(B.fmul(C, T2), B.fmul(S, T1));
+        B.store2D(U, I, L, Ld, NewL);
+        B.store2D(U, I, L2, Ld, NewL2);
+      }
+      B.endDo(RotL);
+
+      VRegId RvNew = B.fmul(B.fmul(S, Yv), Half);
+      B.store(Rv, L, RvNew);
+    }
+    B.endDo(SwL);
+  }
+  B.endDo(Sweep);
+
+  //===----------------------------------------------------------------===//
+  // Result: fold the singular values so everything is observable.
+  //===----------------------------------------------------------------===//
+  VRegId Sum = B.fReg("sum");
+  B.movF(0.0, Sum);
+  auto FL = B.forLoop("final", K, 0, Nr);
+  B.fadd(Sum, B.fabs(B.load(W, K)), Sum);
+  B.endDo(FL);
+  B.fadd(Sum, B.fmul(ANorm, Eps), Sum);
+  B.store(Out, IZero, Sum);
+  B.ret(Sum);
+  return F;
+}

@@ -1,0 +1,141 @@
+//===- workloads/Workloads.cpp - Benchmark routine registry ---------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <cassert>
+
+using namespace ra;
+
+namespace {
+
+/// Default input data: every float array gets a bounded deterministic
+/// pattern, every int array small non-negative values. Routines with
+/// stronger input requirements override this below.
+void defaultInit(const Module &M, MemoryImage &Mem) {
+  for (uint32_t A = 0; A < M.numArrays(); ++A) {
+    const ArrayInfo &AI = M.array(A);
+    if (AI.Elem == RegClass::Float) {
+      std::vector<double> &D = Mem.floatArray(A);
+      for (uint32_t I = 0; I < D.size(); ++I)
+        D[I] = double((I * 7919 + 131 * A) % 1000) / 1000.0 - 0.3;
+    } else {
+      std::vector<int64_t> &D = Mem.intArray(A);
+      for (uint32_t I = 0; I < D.size(); ++I)
+        D[I] = int64_t((I * 37 + A) % 100);
+    }
+  }
+}
+
+/// EPSLON probes |x| — give it a definite sample point.
+void epslonInit(const Module &M, MemoryImage &Mem) {
+  defaultInit(M, Mem);
+  Mem.floatArray(M.findArray("x"))[0] = 2.5;
+}
+
+/// DSCAL/DAXPY read a scale factor that must be nonzero for the main
+/// path (DAXPY early-exits on zero).
+void scaledInit(const Module &M, MemoryImage &Mem) {
+  defaultInit(M, Mem);
+  Mem.floatArray(M.findArray("scal"))[0] = 0.37;
+}
+
+/// DGESL consumes DGEFA-style factors: hand it a diagonally dominant
+/// "prefactored" matrix with identity pivoting so the substitution
+/// loops stay numerically tame.
+void dgeslInit(const Module &M, MemoryImage &Mem) {
+  defaultInit(M, Mem);
+  uint32_t A = M.findArray("a");
+  uint32_t Ipvt = M.findArray("ipvt");
+  std::vector<double> &D = Mem.floatArray(A);
+  const ArrayInfo &AI = M.array(A);
+  uint32_t N = M.array(Ipvt).Size;
+  uint32_t Lda = AI.Size / N;
+  for (uint32_t J = 0; J < N; ++J)
+    for (uint32_t I = 0; I < N; ++I)
+      D[J * Lda + I] =
+          I == J ? 4.0 + 0.1 * I : 0.05 * (double((I * 13 + J * 7) % 10) - 5);
+  std::vector<int64_t> &P = Mem.intArray(Ipvt);
+  for (uint32_t K = 0; K < N; ++K)
+    P[K] = K;
+  Mem.intArray(M.findArray("job"))[0] = 0; // solve A*x = b
+}
+
+std::vector<Workload> makeRegistry() {
+  auto Entry = [](const char *Program, const char *Routine,
+                  Function &(*Build)(Module &),
+                  void (*Init)(const Module &, MemoryImage &) = defaultInit,
+                  bool Timed = true) {
+    Workload W;
+    W.Program = Program;
+    W.Routine = Routine;
+    W.Build = Build;
+    W.Init = Init;
+    W.Timed = Timed;
+    return W;
+  };
+
+  std::vector<Workload> R;
+  R.push_back(Entry("SVD", "SVD", buildSVD));
+
+  R.push_back(Entry("LINPACK", "EPSLON", buildEPSLON, epslonInit));
+  R.push_back(Entry("LINPACK", "DSCAL", buildDSCAL, scaledInit));
+  R.push_back(Entry("LINPACK", "IDAMAX", buildIDAMAX));
+  R.push_back(Entry("LINPACK", "DDOT", buildDDOT));
+  R.push_back(Entry("LINPACK", "DAXPY", buildDAXPY, scaledInit));
+  R.push_back(Entry("LINPACK", "MATGEN", buildMATGEN));
+  R.push_back(Entry("LINPACK", "DGEFA", buildDGEFA));
+  R.push_back(Entry("LINPACK", "DGESL", buildDGESL, dgeslInit));
+  R.push_back(Entry("LINPACK", "DMXPY", buildDMXPY));
+
+  R.push_back(Entry("SIMPLEX", "VALUE", buildVALUE));
+  R.push_back(Entry("SIMPLEX", "CONVERGE", buildCONVERGE));
+  R.push_back(Entry("SIMPLEX", "CONSTRUCT", buildCONSTRUCT));
+  R.push_back(Entry("SIMPLEX", "SIMPLEX", buildSIMPLEX));
+
+  R.push_back(Entry("EULER", "SHOCK", buildSHOCK));
+  R.push_back(Entry("EULER", "DERIV", buildDERIV));
+  R.push_back(Entry("EULER", "CODE", buildCODE));
+  R.push_back(Entry("EULER", "CHEB", buildCHEB));
+  R.push_back(Entry("EULER", "FINDIF", buildFINDIF));
+  R.push_back(Entry("EULER", "FFTB", buildFFTB));
+  R.push_back(Entry("EULER", "BNDRY", buildBNDRY));
+  R.push_back(Entry("EULER", "INPUT", buildINPUT));
+  R.push_back(Entry("EULER", "DIFFR", buildDIFFR));
+  R.push_back(Entry("EULER", "DISSIP", buildDISSIP));
+  R.push_back(Entry("EULER", "INIT", buildINIT));
+
+  // The paper lists CEDETA's dynamic improvement as "n/a".
+  R.push_back(Entry("CEDETA", "DQRDC", buildDQRDC, defaultInit,
+                    /*Timed=*/false));
+  R.push_back(Entry("CEDETA", "GRADNT", buildGRADNT, defaultInit,
+                    /*Timed=*/false));
+  R.push_back(Entry("CEDETA", "HSSIAN", buildHSSIAN, defaultInit,
+                    /*Timed=*/false));
+  return R;
+}
+
+} // namespace
+
+const std::vector<Workload> &ra::allWorkloads() {
+  static const std::vector<Workload> Registry = makeRegistry();
+  return Registry;
+}
+
+const Workload *ra::findWorkload(const std::string &Routine) {
+  for (const Workload &W : allWorkloads())
+    if (W.Routine == Routine)
+      return &W;
+  return nullptr;
+}
+
+std::vector<std::string> ra::workloadPrograms() {
+  std::vector<std::string> Programs;
+  for (const Workload &W : allWorkloads())
+    if (Programs.empty() || Programs.back() != W.Program)
+      Programs.push_back(W.Program);
+  return Programs;
+}

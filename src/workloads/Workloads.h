@@ -1,0 +1,107 @@
+//===- workloads/Workloads.h - Benchmark routine registry ------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of every routine in the paper's Figure 5 evaluation —
+/// SVD, the LINPACK kernels, SIMPLEX, the 1-D EULER shock code, and the
+/// CEDETA optimization routines — plus Wirth's non-recursive quicksort
+/// from the Figure 6 study. Each entry builds an executable IR
+/// reconstruction of the routine's loop and live-range structure and
+/// knows how to initialize its input memory, so the simulator can run
+/// it before and after allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_WORKLOADS_WORKLOADS_H
+#define RA_WORKLOADS_WORKLOADS_H
+
+#include "ir/Module.h"
+#include "sim/Simulator.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ra {
+
+/// One benchmark routine.
+struct Workload {
+  std::string Program; ///< "SVD", "LINPACK", "SIMPLEX", "EULER", "CEDETA"
+  std::string Routine; ///< e.g. "DAXPY"
+
+  /// Builds the routine (arrays + one function) into a fresh module and
+  /// returns the function.
+  std::function<Function &(Module &)> Build;
+
+  /// Fills \p Mem with the routine's input data.
+  std::function<void(const Module &, MemoryImage &)> Init;
+
+  /// Whether whole-program dynamic timing includes this routine (the
+  /// paper lists CEDETA's dynamic improvement as "n/a").
+  bool Timed = true;
+};
+
+/// All Figure 5 routines, grouped by program in table order.
+const std::vector<Workload> &allWorkloads();
+
+/// Finds a routine by name ("SVD", "DAXPY", ...); nullptr when absent.
+const Workload *findWorkload(const std::string &Routine);
+
+/// Distinct program names in table order.
+std::vector<std::string> workloadPrograms();
+
+//===------------------------------------------------------------------===//
+// Individual builders (used directly by focused tests/examples).
+//===------------------------------------------------------------------===//
+
+// SVD — the paper's motivating routine (Figure 1 structure).
+Function &buildSVD(Module &M);
+
+// LINPACK.
+Function &buildEPSLON(Module &M);
+Function &buildDSCAL(Module &M);
+Function &buildIDAMAX(Module &M);
+Function &buildDDOT(Module &M);
+Function &buildDAXPY(Module &M);
+Function &buildMATGEN(Module &M);
+Function &buildDGEFA(Module &M);
+Function &buildDGESL(Module &M);
+Function &buildDMXPY(Module &M); ///< the 16x-unrolled matrix-vector kernel
+
+// SIMPLEX — parallel direct-search optimization.
+Function &buildVALUE(Module &M);
+Function &buildCONVERGE(Module &M);
+Function &buildCONSTRUCT(Module &M);
+Function &buildSIMPLEX(Module &M);
+
+// EULER — 1-D shock wave propagation.
+Function &buildSHOCK(Module &M);
+Function &buildDERIV(Module &M);
+Function &buildCODE(Module &M);
+Function &buildCHEB(Module &M);
+Function &buildFINDIF(Module &M);
+Function &buildFFTB(Module &M);
+Function &buildBNDRY(Module &M);
+Function &buildINPUT(Module &M);
+Function &buildDIFFR(Module &M);
+Function &buildDISSIP(Module &M);
+Function &buildINIT(Module &M);
+
+// CEDETA — equality constrained minimization.
+Function &buildDQRDC(Module &M);
+Function &buildGRADNT(Module &M);
+Function &buildHSSIAN(Module &M);
+
+// Figure 6: Wirth's non-recursive quicksort over @data of \p N ints.
+Function &buildQuicksort(Module &M, uint32_t N = 200000);
+
+/// Deterministically fills quicksort's @data with \p N pseudo-random
+/// values.
+void initQuicksortMemory(const Module &M, MemoryImage &Mem);
+
+} // namespace ra
+
+#endif // RA_WORKLOADS_WORKLOADS_H

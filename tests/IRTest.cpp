@@ -1,0 +1,328 @@
+//===- tests/IRTest.cpp - IR, printer, parser, verifier tests -------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "sim/Simulator.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ra;
+
+namespace {
+
+TEST(OpcodeTest, TraitsAreConsistent) {
+  EXPECT_TRUE(opcodeHasDef(Opcode::Add));
+  EXPECT_TRUE(opcodeHasDef(Opcode::SpillLd));
+  EXPECT_FALSE(opcodeHasDef(Opcode::Store));
+  EXPECT_FALSE(opcodeHasDef(Opcode::SpillSt));
+  EXPECT_FALSE(opcodeHasDef(Opcode::Br));
+  EXPECT_TRUE(opcodeIsTerminator(Opcode::Ret));
+  EXPECT_TRUE(opcodeIsTerminator(Opcode::Jmp));
+  EXPECT_FALSE(opcodeIsTerminator(Opcode::Copy));
+  EXPECT_STREQ(opcodeName(Opcode::FSqrt), "fsqrt");
+  EXPECT_STREQ(cmpKindName(CmpKind::LE), "le");
+}
+
+TEST(OpcodeTest, CmpEvaluation) {
+  EXPECT_TRUE(evalCmp(CmpKind::LT, int64_t(1), int64_t(2)));
+  EXPECT_FALSE(evalCmp(CmpKind::GT, int64_t(1), int64_t(2)));
+  EXPECT_TRUE(evalCmp(CmpKind::GE, 2.0, 2.0));
+  EXPECT_TRUE(evalCmp(CmpKind::NE, 1.5, 2.5));
+}
+
+TEST(InstructionTest, DefAndUseIteration) {
+  Instruction I{Opcode::Add,
+                {Operand::reg(5), Operand::reg(6), Operand::reg(7)}};
+  EXPECT_EQ(I.defReg(), 5u);
+  std::vector<VRegId> Uses;
+  I.forEachUse([&](VRegId R) { Uses.push_back(R); });
+  EXPECT_EQ(Uses, (std::vector<VRegId>{6, 7}));
+
+  Instruction St{Opcode::Store,
+                 {Operand::reg(1), Operand::array(0), Operand::reg(2)}};
+  Uses.clear();
+  St.forEachUse([&](VRegId R) { Uses.push_back(R); });
+  EXPECT_EQ(Uses, (std::vector<VRegId>{1, 2}))
+      << "stores use both the value and the index";
+}
+
+TEST(FunctionTest, SpillSlots) {
+  Function F("f");
+  unsigned S0 = F.newSpillSlot(RegClass::Int);
+  unsigned S1 = F.newSpillSlot(RegClass::Float);
+  EXPECT_EQ(S0, 0u);
+  EXPECT_EQ(S1, 1u);
+  EXPECT_EQ(F.spillSlotClass(0), RegClass::Int);
+  EXPECT_EQ(F.spillSlotClass(1), RegClass::Float);
+}
+
+TEST(ModuleTest, ArrayAndFunctionLookup) {
+  Module M;
+  uint32_t A = M.newArray("data", 16, RegClass::Int);
+  EXPECT_EQ(M.findArray("data"), A);
+  EXPECT_EQ(M.findArray("nope"), ~0u);
+  Function &F = M.newFunction("main");
+  EXPECT_EQ(M.findFunction("main"), &F);
+  EXPECT_EQ(M.findFunction("other"), nullptr);
+}
+
+//===--------------------------------------------------------------------===//
+// Parser.
+//===--------------------------------------------------------------------===//
+
+TEST(ParserTest, ParsesSmallModule) {
+  const char *Text = R"(
+    module {
+      array @a : int[8]
+      func @f {
+      block entry:
+        %x:int = movi 5
+        %y:int = addi %x, 37
+        store @a[%x], %y
+        %z:int = load @a[%x]
+        ret %z
+      }
+    }
+  )";
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(parseModule(Text, M, Err)) << Err;
+  ASSERT_EQ(M.numFunctions(), 1u);
+  Function &F = M.function(0);
+  EXPECT_EQ(F.name(), "f");
+  EXPECT_EQ(F.numBlocks(), 1u);
+  EXPECT_EQ(F.numInstructions(), 5u);
+  EXPECT_TRUE(verifyFunction(M, F).empty());
+
+  Simulator Sim(M);
+  MemoryImage Mem(M);
+  ExecutionResult R = Sim.runVirtual(F, Mem);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntReturn, 42);
+}
+
+TEST(ParserTest, ParsesControlFlowAndFloats) {
+  const char *Text = R"(
+    module {
+      array @v : flt[4]
+      func @g {
+      block entry:
+        %i:int = movi 0
+        %n:int = movi 4
+        %sum:flt = movf 0.0
+        jmp head
+      block head:
+        br lt %i, %n, body, exit
+      block body:
+        %x:flt = fload @v[%i]
+        %sum:flt = fadd %sum, %x
+        %i:int = addi %i, 1
+        jmp head
+      block exit:
+        ret %sum
+      }
+    }
+  )";
+  Module M;
+  std::string Err;
+  ASSERT_TRUE(parseModule(Text, M, Err)) << Err;
+  Function &F = M.function(0);
+  EXPECT_EQ(F.numBlocks(), 4u);
+  EXPECT_TRUE(verifyFunction(M, F).empty());
+
+  Simulator Sim(M);
+  MemoryImage Mem(M);
+  auto &V = Mem.floatArray(0);
+  V = {1.5, 2.0, 3.0, 4.0};
+  ExecutionResult R = Sim.runVirtual(F, Mem);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.FloatReturn, 10.5);
+}
+
+struct ParserErrorCase {
+  const char *Name;
+  const char *Text;
+  const char *ExpectInMessage;
+};
+
+class ParserErrors : public ::testing::TestWithParam<ParserErrorCase> {};
+
+TEST_P(ParserErrors, RejectsWithDiagnostic) {
+  Module M;
+  std::string Err;
+  EXPECT_FALSE(parseModule(GetParam().Text, M, Err));
+  EXPECT_NE(Err.find(GetParam().ExpectInMessage), std::string::npos)
+      << "actual: " << Err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrors,
+    ::testing::Values(
+        ParserErrorCase{"MissingModule", "func @f {}", "expected 'module'"},
+        ParserErrorCase{"UnknownOpcode",
+                        "module { func @f { block e: frobnicate } }",
+                        "unknown opcode"},
+        ParserErrorCase{"UndefinedRegister",
+                        "module { func @f { block e: ret %x } }",
+                        "undefined register"},
+        ParserErrorCase{"UnknownArray",
+                        "module { func @f { block e: %x:int = load "
+                        "@a[%x] ret } }",
+                        "unknown array"},
+        ParserErrorCase{"UnknownBlock",
+                        "module { func @f { block e: jmp nowhere } }",
+                        "unknown block"},
+        ParserErrorCase{"ClassMismatch",
+                        "module { func @f { block e: %x:int = movi 1\n"
+                        "%x:flt = movf 1.0\nret } }",
+                        "different class"},
+        ParserErrorCase{"DuplicateArray",
+                        "module { array @a : int[1] array @a : int[2] }",
+                        "duplicate array"},
+        ParserErrorCase{"DefOnVoidOp",
+                        "module { func @f { block e: %x:int = ret } }",
+                        "does not produce a value"}),
+    [](const auto &Info) { return std::string(Info.param.Name); });
+
+//===--------------------------------------------------------------------===//
+// Printer round-trips.
+//===--------------------------------------------------------------------===//
+
+class RoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTrip, WorkloadPrintsParsesAndRunsTheSame) {
+  const Workload *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  Module M;
+  Function &F = W->Build(M);
+
+  std::string Text = printModule(M);
+  Module M2;
+  std::string Err;
+  ASSERT_TRUE(parseModule(Text, M2, Err)) << Err;
+  Function *F2 = M2.findFunction(F.name());
+  ASSERT_NE(F2, nullptr);
+  EXPECT_EQ(F2->numBlocks(), F.numBlocks());
+  EXPECT_EQ(F2->numInstructions(), F.numInstructions());
+  EXPECT_EQ(F2->numVRegs(), F.numVRegs());
+  EXPECT_TRUE(verifyFunction(M2, *F2).empty());
+
+  // Same behavior: run both and compare memory plus return values.
+  Simulator S1(M), S2(M2);
+  MemoryImage Mem1(M), Mem2(M2);
+  W->Init(M, Mem1);
+  W->Init(M2, Mem2);
+  ExecutionResult R1 = S1.runVirtual(F, Mem1);
+  ExecutionResult R2 = S2.runVirtual(*F2, Mem2);
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(R1.Cycles, R2.Cycles);
+  EXPECT_EQ(R1.IntReturn, R2.IntReturn);
+  EXPECT_EQ(R1.FloatReturn, R2.FloatReturn);
+  EXPECT_TRUE(Mem1 == Mem2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRoutines, RoundTrip, [] {
+  std::vector<std::string> Names;
+  for (const Workload &W : allWorkloads())
+    Names.push_back(W.Routine);
+  return ::testing::ValuesIn(Names);
+}());
+
+TEST(RoundTripRandom, RandomProgramsSurviveTextRoundTrip) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Module M;
+    Function &F = buildRandomProgram(M, Seed);
+    std::string Text = printModule(M);
+    Module M2;
+    std::string Err;
+    ASSERT_TRUE(parseModule(Text, M2, Err)) << "seed " << Seed << ": " << Err;
+    Function &F2 = M2.function(0);
+    Simulator S1(M), S2(M2);
+    MemoryImage Mem1(M), Mem2(M2);
+    ExecutionResult R1 = S1.runVirtual(F, Mem1);
+    ExecutionResult R2 = S2.runVirtual(F2, Mem2);
+    ASSERT_TRUE(R1.Ok && R2.Ok);
+    EXPECT_EQ(R1.IntReturn, R2.IntReturn) << "seed " << Seed;
+    EXPECT_TRUE(Mem1 == Mem2) << "seed " << Seed;
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Verifier negatives.
+//===--------------------------------------------------------------------===//
+
+TEST(VerifierTest, CatchesMissingTerminator) {
+  Module M;
+  Function &F = M.newFunction("bad");
+  IRBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+  B.movI(1);
+  auto Errors = verifyFunction(M, F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesUseBeforeDef) {
+  Module M;
+  Function &F = M.newFunction("bad");
+  IRBuilder B(M, F);
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Then = B.newBlock("then");
+  uint32_t Join = B.newBlock("join");
+  B.setInsertPoint(Entry);
+  VRegId A = B.movI(1);
+  VRegId Cond = B.movI(0);
+  B.br(CmpKind::EQ, A, Cond, Then, Join);
+  B.setInsertPoint(Then);
+  VRegId X = B.movI(5); // only defined on one path
+  B.jmp(Join);
+  B.setInsertPoint(Join);
+  B.ret(X);
+  auto Errors = verifyFunction(M, F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("before definition"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesClassMismatch) {
+  Module M;
+  Function &F = M.newFunction("bad");
+  IRBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+  VRegId X = B.movI(1);
+  VRegId Fv = F.newVReg(RegClass::Float, "f");
+  // Hand-build a malformed add mixing classes.
+  B.emit({Opcode::Add,
+          {Operand::reg(Fv), Operand::reg(X), Operand::reg(X)}});
+  B.ret();
+  EXPECT_FALSE(verifyFunction(M, F).empty());
+}
+
+TEST(VerifierTest, CatchesBadBlockReference) {
+  Module M;
+  Function &F = M.newFunction("bad");
+  IRBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+  B.emit({Opcode::Jmp, {Operand::block(99)}});
+  EXPECT_FALSE(verifyFunction(M, F).empty());
+}
+
+TEST(VerifierTest, AcceptsAllWorkloads) {
+  for (const Workload &W : allWorkloads()) {
+    Module M;
+    Function &F = W.Build(M);
+    auto Errors = verifyFunction(M, F);
+    EXPECT_TRUE(Errors.empty())
+        << W.Routine << ": " << (Errors.empty() ? "" : Errors[0]);
+  }
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+//===- tests/KernelBuilderTest.cpp - loop/if scaffold tests ---------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The FORTRAN-style scaffolding the workload reconstructions are built
+// from must produce exactly the control flow it advertises.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "sim/Simulator.h"
+#include "workloads/KernelBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ra;
+
+namespace {
+
+struct Kernel {
+  Module M;
+  Function *F;
+  KernelBuilder B;
+
+  Kernel() : F(&M.newFunction("k")), B(M, *F) {
+    B.setInsertPoint(B.newBlock("entry"));
+  }
+
+  int64_t run() {
+    Simulator Sim(M);
+    MemoryImage Mem(M);
+    ExecutionResult R = Sim.runVirtual(*F, Mem);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return R.IntReturn;
+  }
+};
+
+TEST(KernelBuilderTest, ForLoopCountsInclusiveExclusive) {
+  // sum of 0..9
+  Kernel K;
+  VRegId I = K.B.iReg("i");
+  VRegId N = K.B.constI(10, "n");
+  VRegId Sum = K.B.iReg("sum");
+  K.B.movI(0, Sum);
+  auto L = K.B.forLoop("l", I, 0, N);
+  K.B.add(Sum, I, Sum);
+  K.B.endDo(L);
+  K.B.ret(Sum);
+  EXPECT_TRUE(verifyFunction(K.M, *K.F).empty());
+  EXPECT_EQ(K.run(), 45);
+}
+
+TEST(KernelBuilderTest, ForLoopWithStep) {
+  // 0, 3, 6, 9 -> 4 iterations
+  Kernel K;
+  VRegId I = K.B.iReg("i");
+  VRegId N = K.B.constI(10, "n");
+  VRegId Count = K.B.iReg("count");
+  K.B.movI(0, Count);
+  auto L = K.B.forLoop("l", I, 0, N, 3);
+  K.B.addI(Count, 1, Count);
+  K.B.endDo(L);
+  K.B.ret(Count);
+  EXPECT_EQ(K.run(), 4);
+}
+
+TEST(KernelBuilderTest, ZeroTripLoopBodyNeverRuns) {
+  Kernel K;
+  VRegId I = K.B.iReg("i");
+  VRegId N = K.B.constI(0, "n");
+  VRegId Touched = K.B.iReg("touched");
+  K.B.movI(0, Touched);
+  auto L = K.B.forLoop("l", I, 5, N); // 5 >= 0: never enters
+  K.B.movI(1, Touched);
+  K.B.endDo(L);
+  K.B.ret(Touched);
+  EXPECT_EQ(K.run(), 0);
+}
+
+TEST(KernelBuilderTest, DownLoopDescendsInclusive) {
+  // 5 + 4 + 3 + 2 + 1 + 0
+  Kernel K;
+  VRegId I = K.B.iReg("i");
+  VRegId Zero = K.B.constI(0, "zero");
+  VRegId Sum = K.B.iReg("sum");
+  K.B.movI(0, Sum);
+  K.B.movI(5, I);
+  auto L = K.B.downLoopFrom("l", I, Zero);
+  K.B.add(Sum, I, Sum);
+  K.B.endDo(L);
+  K.B.ret(Sum);
+  EXPECT_EQ(K.run(), 15);
+}
+
+TEST(KernelBuilderTest, ForLoopRegUsesRegisterBound) {
+  // for (i = lo; i < n) with lo = 3, n = 7 -> 4 iterations
+  Kernel K;
+  VRegId I = K.B.iReg("i");
+  VRegId Lo = K.B.constI(3, "lo");
+  VRegId N = K.B.constI(7, "n");
+  VRegId Count = K.B.iReg("count");
+  K.B.movI(0, Count);
+  auto L = K.B.forLoopReg("l", I, Lo, N);
+  K.B.addI(Count, 1, Count);
+  K.B.endDo(L);
+  K.B.ret(Count);
+  EXPECT_EQ(K.run(), 4);
+}
+
+TEST(KernelBuilderTest, IfThenTakenAndNotTaken) {
+  for (int64_t A : {1, 5}) {
+    Kernel K;
+    VRegId Av = K.B.constI(A, "a");
+    VRegId Three = K.B.constI(3, "three");
+    VRegId Out = K.B.iReg("out");
+    K.B.movI(0, Out);
+    auto If = K.B.ifCmp(CmpKind::GT, Av, Three, "gt3");
+    K.B.movI(1, Out);
+    K.B.endIf(If);
+    K.B.ret(Out);
+    EXPECT_EQ(K.run(), A > 3 ? 1 : 0);
+  }
+}
+
+TEST(KernelBuilderTest, IfElseSelectsTheRightArm) {
+  for (int64_t A : {1, 5}) {
+    Kernel K;
+    VRegId Av = K.B.constI(A, "a");
+    VRegId Three = K.B.constI(3, "three");
+    VRegId Out = K.B.iReg("out");
+    auto If = K.B.ifElseCmp(CmpKind::GT, Av, Three, "gt3");
+    K.B.movI(10, Out);
+    K.B.elseBranch(If);
+    K.B.movI(20, Out);
+    K.B.endIf(If);
+    K.B.ret(Out);
+    EXPECT_EQ(K.run(), A > 3 ? 10 : 20);
+  }
+}
+
+TEST(KernelBuilderTest, Index2DIsColumnMajor) {
+  Kernel K;
+  uint32_t A = K.M.newArray("a", 6 * 4, RegClass::Float);
+  VRegId Row = K.B.constI(2, "row");
+  VRegId Col = K.B.constI(3, "col");
+  VRegId V = K.B.constF(1.25, "v");
+  K.B.store2D(A, Row, Col, /*Ld=*/6, V);
+  K.B.ret();
+
+  Simulator Sim(K.M);
+  MemoryImage Mem(K.M);
+  ExecutionResult R = Sim.runVirtual(*K.F, Mem);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(Mem.floatArray(A)[3 * 6 + 2], 1.25)
+      << "a(2,3) with lda 6 lives at column*lda + row";
+}
+
+TEST(KernelBuilderTest, NestedLoopsCompose) {
+  // 3 x 4 grid of increments.
+  Kernel K;
+  VRegId I = K.B.iReg("i"), J = K.B.iReg("j");
+  VRegId NI = K.B.constI(3, "ni"), NJ = K.B.constI(4, "nj");
+  VRegId Count = K.B.iReg("count");
+  K.B.movI(0, Count);
+  auto Li = K.B.forLoop("i", I, 0, NI);
+  auto Lj = K.B.forLoop("j", J, 0, NJ);
+  K.B.addI(Count, 1, Count);
+  K.B.endDo(Lj);
+  K.B.endDo(Li);
+  K.B.ret(Count);
+  EXPECT_EQ(K.run(), 12);
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- tests/SimulatorTest.cpp - interpreter and cost-model tests ---------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "sim/Simulator.h"
+#include "target/CostModel.h"
+#include "target/MachineInfo.h"
+
+#include <gtest/gtest.h>
+
+using namespace ra;
+
+namespace {
+
+struct Fixture {
+  Module M;
+  Function *F;
+  IRBuilder B;
+
+  Fixture() : F(&M.newFunction("t")), B(M, *F) {
+    B.setInsertPoint(B.newBlock("entry"));
+  }
+};
+
+TEST(SimulatorTest, ArithmeticAndReturn) {
+  Fixture T;
+  VRegId A = T.B.movI(6);
+  VRegId Bv = T.B.movI(7);
+  VRegId C = T.B.mul(A, Bv);
+  T.B.ret(C);
+  Simulator Sim(T.M);
+  MemoryImage Mem(T.M);
+  ExecutionResult R = Sim.runVirtual(*T.F, Mem);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.HasIntReturn);
+  EXPECT_EQ(R.IntReturn, 42);
+  EXPECT_EQ(R.Instructions, 4u);
+}
+
+TEST(SimulatorTest, FloatOpsAndConversions) {
+  Fixture T;
+  VRegId I = T.B.movI(-9);
+  VRegId Fv = T.B.itof(I);
+  VRegId Ab = T.B.fabs(Fv);
+  VRegId Sq = T.B.fsqrt(Ab);
+  VRegId Back = T.B.ftoi(Sq);
+  T.B.ret(Back);
+  Simulator Sim(T.M);
+  MemoryImage Mem(T.M);
+  ExecutionResult R = Sim.runVirtual(*T.F, Mem);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.IntReturn, 3);
+}
+
+TEST(SimulatorTest, TrapsOnDivisionByZero) {
+  Fixture T;
+  VRegId A = T.B.movI(1);
+  VRegId Z = T.B.movI(0);
+  T.B.div(A, Z);
+  T.B.ret();
+  Simulator Sim(T.M);
+  MemoryImage Mem(T.M);
+  ExecutionResult R = Sim.runVirtual(*T.F, Mem);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(SimulatorTest, TrapsOnNegativeSqrt) {
+  Fixture T;
+  VRegId V = T.B.movF(-1.0);
+  T.B.fsqrt(V);
+  T.B.ret();
+  Simulator Sim(T.M);
+  MemoryImage Mem(T.M);
+  ExecutionResult R = Sim.runVirtual(*T.F, Mem);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("negative"), std::string::npos);
+}
+
+TEST(SimulatorTest, TrapsOnOutOfBoundsAccess) {
+  Module M;
+  uint32_t A = M.newArray("a", 4, RegClass::Int);
+  Function &F = M.newFunction("t");
+  IRBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+  VRegId Idx = B.movI(4); // one past the end
+  VRegId V = B.movI(1);
+  B.store(A, Idx, V);
+  B.ret();
+  Simulator Sim(M);
+  MemoryImage Mem(M);
+  ExecutionResult R = Sim.runVirtual(F, Mem);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(SimulatorTest, TrapsOnInstructionBudget) {
+  Fixture T;
+  uint32_t Loop = T.B.newBlock("loop");
+  T.B.jmp(Loop);
+  T.B.setInsertPoint(Loop);
+  T.B.jmp(Loop); // infinite
+  Simulator Sim(T.M);
+  MemoryImage Mem(T.M);
+  ExecutionResult R = Sim.runVirtual(*T.F, Mem, /*MaxInstructions=*/1000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+  EXPECT_EQ(R.Instructions, 1000u);
+}
+
+TEST(SimulatorTest, SpillSlotsRoundTripBothClasses) {
+  Fixture T;
+  unsigned SInt = T.F->newSpillSlot(RegClass::Int);
+  unsigned SFlt = T.F->newSpillSlot(RegClass::Float);
+  VRegId I = T.B.movI(123);
+  VRegId Fv = T.B.movF(1.25);
+  T.B.emit({Opcode::SpillSt, {Operand::reg(I), Operand::intImm(SInt)}});
+  T.B.emit({Opcode::SpillSt, {Operand::reg(Fv), Operand::intImm(SFlt)}});
+  VRegId I2 = T.F->newVReg(RegClass::Int, "i2");
+  VRegId F2 = T.F->newVReg(RegClass::Float, "f2");
+  T.B.emit({Opcode::SpillLd, {Operand::reg(I2), Operand::intImm(SInt)}});
+  T.B.emit({Opcode::SpillLd, {Operand::reg(F2), Operand::intImm(SFlt)}});
+  VRegId Sum = T.B.add(I2, T.B.ftoi(F2));
+  T.B.ret(Sum);
+  Simulator Sim(T.M);
+  MemoryImage Mem(T.M);
+  ExecutionResult R = Sim.runVirtual(*T.F, Mem);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.IntReturn, 124);
+  EXPECT_EQ(R.SpillOps, 4u);
+  EXPECT_GT(R.SpillCycles, 0u);
+}
+
+TEST(SimulatorTest, CyclesFollowTheCostModel) {
+  Fixture T;
+  VRegId A = T.B.movF(2.0);
+  VRegId Bv = T.B.movF(3.0);
+  T.B.fdiv(A, Bv);
+  T.B.ret();
+  CostModel CM = CostModel::rtpc();
+  Simulator Sim(T.M, CM);
+  MemoryImage Mem(T.M);
+  ExecutionResult R = Sim.runVirtual(*T.F, Mem);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Cycles, CM.cycles(Opcode::MovF) * 2 +
+                          CM.cycles(Opcode::FDiv) +
+                          CM.cycles(Opcode::Ret));
+}
+
+TEST(SimulatorTest, FloatReturnIsReported) {
+  Fixture T;
+  VRegId V = T.B.movF(2.5);
+  T.B.ret(V);
+  Simulator Sim(T.M);
+  MemoryImage Mem(T.M);
+  ExecutionResult R = Sim.runVirtual(*T.F, Mem);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.HasFloatReturn);
+  EXPECT_FALSE(R.HasIntReturn);
+  EXPECT_EQ(R.FloatReturn, 2.5);
+}
+
+TEST(CostModelTest, RelativeCostsMatchTheTarget) {
+  CostModel CM = CostModel::rtpc();
+  // FP is much more expensive than integer work (RT/PC coprocessor);
+  // this ratio is what keeps the paper's dynamic improvements small on
+  // FP codes and visible on integer codes.
+  EXPECT_GT(CM.cycles(Opcode::FAdd), 5 * CM.cycles(Opcode::Add));
+  EXPECT_GT(CM.cycles(Opcode::FDiv), CM.cycles(Opcode::FMul));
+  EXPECT_GT(CM.cycles(Opcode::FSqrt), CM.cycles(Opcode::FDiv));
+  EXPECT_EQ(CM.bytesPerInstruction(), 4u);
+  EXPECT_EQ(CM.spillLoadCost(), CM.cycles(Opcode::SpillLd));
+}
+
+TEST(MachineInfoTest, FileSizes) {
+  MachineInfo M = MachineInfo::rtpc();
+  EXPECT_EQ(M.numRegs(RegClass::Int), 16u);
+  EXPECT_EQ(M.numRegs(RegClass::Float), 8u);
+  MachineInfo Shrunk = M.withIntRegs(10);
+  EXPECT_EQ(Shrunk.numRegs(RegClass::Int), 10u);
+  EXPECT_EQ(Shrunk.numRegs(RegClass::Float), 8u);
+  MachineInfo F4 = M.withFloatRegs(4);
+  EXPECT_EQ(F4.numRegs(RegClass::Float), 4u);
+}
+
+TEST(MemoryImageTest, TypedStorageAndEquality) {
+  Module M;
+  uint32_t A = M.newArray("ints", 4, RegClass::Int);
+  uint32_t B = M.newArray("flts", 4, RegClass::Float);
+  MemoryImage M1(M), M2(M);
+  EXPECT_TRUE(M1 == M2);
+  M1.intArray(A)[2] = 5;
+  EXPECT_FALSE(M1 == M2);
+  M2.intArray(A)[2] = 5;
+  EXPECT_TRUE(M1 == M2);
+  M1.floatArray(B)[0] = 0.5;
+  EXPECT_FALSE(M1 == M2);
+}
+
+} // namespace

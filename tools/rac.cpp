@@ -1,0 +1,189 @@
+//===- tools/rac.cpp - register-allocating compiler driver ----------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line driver over the textual IR:
+//
+//   rac FILE.ral [options]
+//
+//   --heuristic chaitin|briggs|matula-beck   coloring policy (briggs)
+//   --int K / --flt K    register file sizes (16 / 8)
+//   --no-opt             skip LICM/strength reduction/value numbering
+//   --remat              rematerialize constant spills
+//   --print              print the allocated function(s)
+//   --run                execute each function on zero-filled memory
+//   --quiet              suppress the statistics table
+//
+// Exit status: 0 on success, 1 on parse/verify/allocation errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "opt/Optimizer.h"
+#include "regalloc/Allocator.h"
+#include "sim/Simulator.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace ra;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s FILE.ral [--heuristic chaitin|briggs|matula-beck]\n"
+      "       [--int K] [--flt K] [--no-opt] [--remat] [--print]\n"
+      "       [--run] [--quiet]\n",
+      Prog);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  Heuristic H = Heuristic::Briggs;
+  unsigned IntK = 16, FltK = 8;
+  bool Optimize = true, Remat = false, Print = false, Run = false;
+  bool Quiet = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--heuristic" && I + 1 < Argc) {
+      std::string Name = Argv[++I];
+      if (Name == "chaitin")
+        H = Heuristic::Chaitin;
+      else if (Name == "briggs")
+        H = Heuristic::Briggs;
+      else if (Name == "matula-beck")
+        H = Heuristic::MatulaBeck;
+      else {
+        std::fprintf(stderr, "unknown heuristic '%s'\n", Name.c_str());
+        return 1;
+      }
+    } else if (Arg == "--int" && I + 1 < Argc) {
+      IntK = unsigned(std::atoi(Argv[++I]));
+    } else if (Arg == "--flt" && I + 1 < Argc) {
+      FltK = unsigned(std::atoi(Argv[++I]));
+    } else if (Arg == "--no-opt") {
+      Optimize = false;
+    } else if (Arg == "--remat") {
+      Remat = true;
+    } else if (Arg == "--print") {
+      Print = true;
+    } else if (Arg == "--run") {
+      Run = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage(Argv[0]);
+      return 1;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty()) {
+    usage(Argv[0]);
+    return 1;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  Module M;
+  std::string Error;
+  if (!parseModule(Buffer.str(), M, Error)) {
+    std::fprintf(stderr, "%s: parse error: %s\n", Path.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  auto Errors = verifyModule(M);
+  if (!Errors.empty()) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "%s: verifier: %s\n", Path.c_str(), E.c_str());
+    return 1;
+  }
+
+  Table Stats({"Function", "Live Ranges", "Interferences", "Passes",
+               "Spilled", "Spill Cost", "Remats", "Object (B)"});
+  bool Failed = false;
+
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    Function &F = M.function(FI);
+    if (Optimize)
+      optimizeFunction(F);
+
+    AllocatorConfig C;
+    C.H = H;
+    C.Machine = MachineInfo(IntK, FltK);
+    C.Rematerialize = Remat;
+    AllocationResult A = allocateRegisters(F, C);
+    if (!A.Success) {
+      std::fprintf(stderr, "@%s: allocation did not converge\n",
+                   F.name().c_str());
+      Failed = true;
+      continue;
+    }
+
+    double Cost = 0;
+    for (const PassRecord &P : A.Stats.Passes)
+      Cost += P.SpilledCost;
+    Stats.addRow({"@" + F.name(),
+                  Table::withCommas(A.Stats.initialLiveRanges()),
+                  Table::withCommas(A.Stats.Passes[0].Interferences),
+                  Table::withCommas(A.Stats.numPasses()),
+                  Table::withCommas(A.Stats.totalSpills()),
+                  Table::withCommas(int64_t(Cost)),
+                  Table::withCommas(A.Stats.SpillCode.Remats),
+                  Table::withCommas(F.numInstructions() * 4)});
+
+    if (Print)
+      std::printf("%s", printFunction(M, F).c_str());
+
+    if (Run) {
+      Simulator Sim(M);
+      MemoryImage Mem(M);
+      ExecutionResult R = Sim.runAllocated(F, A, Mem);
+      if (!R.Ok) {
+        std::fprintf(stderr, "@%s: trap: %s\n", F.name().c_str(),
+                     R.Error.c_str());
+        Failed = true;
+        continue;
+      }
+      std::printf("@%s: %llu cycles (%llu spill)", F.name().c_str(),
+                  (unsigned long long)R.Cycles,
+                  (unsigned long long)R.SpillCycles);
+      if (R.HasIntReturn)
+        std::printf(", returned %lld", (long long)R.IntReturn);
+      if (R.HasFloatReturn)
+        std::printf(", returned %g", R.FloatReturn);
+      std::printf("\n");
+    }
+  }
+
+  if (!Quiet) {
+    std::printf("%s heuristic, %u int / %u flt registers%s%s\n",
+                heuristicName(H), IntK, FltK,
+                Optimize ? ", optimized" : "",
+                Remat ? ", rematerialization" : "");
+    Stats.print();
+  }
+  return Failed ? 1 : 0;
+}
