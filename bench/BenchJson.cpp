@@ -1,0 +1,223 @@
+//===- bench/BenchJson.cpp - Benchmark JSON telemetry ---------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace ra;
+
+void BenchJson::set(const std::string &DottedKey, double Value) {
+  if (!std::isfinite(Value)) {
+    Values.emplace_back(DottedKey, "null");
+    return;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", Value);
+  Values.emplace_back(DottedKey, Buf);
+}
+
+void BenchJson::set(const std::string &DottedKey, int64_t Value) {
+  Values.emplace_back(DottedKey, std::to_string(Value));
+}
+
+void BenchJson::set(const std::string &DottedKey,
+                    const std::string &Value) {
+  std::string Quoted = "\"";
+  for (char C : Value) {
+    if (C == '"' || C == '\\')
+      Quoted += '\\';
+    if (C == '\n') {
+      Quoted += "\\n";
+      continue;
+    }
+    Quoted += C;
+  }
+  Quoted += '"';
+  Values.emplace_back(DottedKey, Quoted);
+}
+
+namespace {
+
+/// Ordered tree the dotted keys unfold into.
+struct Node {
+  std::vector<std::pair<std::string, Node>> Children;
+  std::string Leaf; ///< Rendered scalar; meaningful when Children empty.
+
+  Node &child(const std::string &Key) {
+    for (auto &[K, N] : Children)
+      if (K == Key)
+        return N;
+    Children.emplace_back(Key, Node());
+    return Children.back().second;
+  }
+};
+
+void renderNode(const Node &N, std::string &Out, unsigned Depth) {
+  if (N.Children.empty()) {
+    Out += N.Leaf;
+    return;
+  }
+  std::string Pad(2 * (Depth + 1), ' ');
+  Out += "{\n";
+  for (size_t I = 0; I < N.Children.size(); ++I) {
+    Out += Pad + "\"" + N.Children[I].first + "\": ";
+    renderNode(N.Children[I].second, Out, Depth + 1);
+    if (I + 1 != N.Children.size())
+      Out += ",";
+    Out += "\n";
+  }
+  Out += std::string(2 * Depth, ' ') + "}";
+}
+
+/// Splits the top-level object of \p Text into (key, raw value text)
+/// pairs. Tolerant scanner, not a validator: it only needs to track
+/// strings and brace/bracket depth well enough to find section
+/// boundaries. Returns false on anything unexpected.
+bool splitTopLevel(const std::string &Text,
+                   std::vector<std::pair<std::string, std::string>> &Out) {
+  size_t I = 0, E = Text.size();
+  auto SkipWS = [&] {
+    while (I < E && std::strchr(" \t\r\n", Text[I]))
+      ++I;
+  };
+  SkipWS();
+  if (I >= E || Text[I] != '{')
+    return false;
+  ++I;
+  for (;;) {
+    SkipWS();
+    if (I < E && Text[I] == '}')
+      return true;
+    if (I >= E || Text[I] != '"')
+      return false;
+    ++I;
+    std::string Key;
+    while (I < E && Text[I] != '"') {
+      if (Text[I] == '\\' && I + 1 < E)
+        ++I;
+      Key += Text[I++];
+    }
+    if (I >= E)
+      return false;
+    ++I; // closing quote
+    SkipWS();
+    if (I >= E || Text[I] != ':')
+      return false;
+    ++I;
+    SkipWS();
+    size_t Start = I;
+    int Depth = 0;
+    bool InString = false;
+    for (; I < E; ++I) {
+      char C = Text[I];
+      if (InString) {
+        if (C == '\\')
+          ++I;
+        else if (C == '"')
+          InString = false;
+        continue;
+      }
+      if (C == '"')
+        InString = true;
+      else if (C == '{' || C == '[')
+        ++Depth;
+      else if (C == '}' || C == ']') {
+        if (Depth == 0)
+          break; // the top-level closing brace
+        --Depth;
+      } else if (C == ',' && Depth == 0)
+        break;
+    }
+    if (I >= E || Depth != 0 || InString)
+      return false;
+    size_t End = I;
+    while (End > Start && std::strchr(" \t\r\n", Text[End - 1]))
+      --End;
+    Out.emplace_back(Key, Text.substr(Start, End - Start));
+    if (Text[I] == ',')
+      ++I;
+  }
+}
+
+} // namespace
+
+std::string BenchJson::render() const {
+  if (Values.empty())
+    return "{}";
+  Node Root;
+  for (const auto &[Dotted, Scalar] : Values) {
+    Node *N = &Root;
+    size_t Pos = 0;
+    for (;;) {
+      size_t Dot = Dotted.find('.', Pos);
+      if (Dot == std::string::npos) {
+        N = &N->child(Dotted.substr(Pos));
+        break;
+      }
+      N = &N->child(Dotted.substr(Pos, Dot - Pos));
+      Pos = Dot + 1;
+    }
+    N->Leaf = Scalar;
+  }
+  std::string Out;
+  renderNode(Root, Out, 1);
+  return Out;
+}
+
+bool BenchJson::writeMerged(const std::string &Path) const {
+  std::vector<std::pair<std::string, std::string>> Sections;
+  {
+    std::ifstream In(Path);
+    if (In) {
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      if (!splitTopLevel(Buf.str(), Sections))
+        Sections.clear(); // malformed: start over with just our section
+    }
+  }
+
+  std::string Rendered = render();
+  bool Replaced = false;
+  for (auto &[Key, Value] : Sections)
+    if (Key == Section) {
+      Value = Rendered;
+      Replaced = true;
+    }
+  if (!Replaced)
+    Sections.emplace_back(Section, Rendered);
+
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << "{\n";
+  for (size_t I = 0; I < Sections.size(); ++I) {
+    Out << "  \"" << Sections[I].first << "\": " << Sections[I].second;
+    if (I + 1 != Sections.size())
+      Out << ",";
+    Out << "\n";
+  }
+  Out << "}\n";
+  return bool(Out);
+}
+
+std::string BenchJson::consumeFlag(int &Argc, char **Argv) {
+  std::string Path;
+  int W = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--bench-json") == 0 && I + 1 < Argc) {
+      Path = Argv[++I];
+      continue;
+    }
+    Argv[W++] = Argv[I];
+  }
+  Argc = W;
+  return Path;
+}

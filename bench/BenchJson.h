@@ -1,0 +1,76 @@
+//===- bench/BenchJson.h - Benchmark JSON telemetry ------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny JSON emitter for benchmark telemetry. Every bench binary (and
+/// tools/rac) writes one top-level section of BENCH_allocator.json —
+/// wall seconds per allocator phase, graphs/sec, thread speedups — so
+/// successive PRs have a perf trajectory to regress against.
+///
+/// Sections are *merged*: writing re-reads the file, replaces only this
+/// binary's top-level key and preserves the others, so run_benches.sh
+/// can run the binaries in any order (or rerun just one) and still end
+/// with a complete file. Keys are dotted paths ("phases.build_seconds")
+/// rendered as nested objects, in insertion order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_BENCH_BENCHJSON_H
+#define RA_BENCH_BENCHJSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ra {
+
+/// One top-level section of the benchmark telemetry file.
+class BenchJson {
+public:
+  /// \p Section is this binary's top-level key, e.g. "fig7_phases".
+  explicit BenchJson(std::string Section) : Section(std::move(Section)) {}
+
+  /// Sets \p DottedKey ("a.b.c" nests objects) to a number. Non-finite
+  /// values are recorded as null (JSON has no inf/nan).
+  void set(const std::string &DottedKey, double Value);
+  void set(const std::string &DottedKey, int64_t Value);
+  void set(const std::string &DottedKey, uint64_t Value) {
+    set(DottedKey, int64_t(Value));
+  }
+  void set(const std::string &DottedKey, int Value) {
+    set(DottedKey, int64_t(Value));
+  }
+  void set(const std::string &DottedKey, unsigned Value) {
+    set(DottedKey, int64_t(Value));
+  }
+  /// Sets a string value (quoted and escaped).
+  void set(const std::string &DottedKey, const std::string &Value);
+
+  /// Renders this section's object (not including the section key).
+  std::string render() const;
+
+  /// Merges this section into the JSON object in \p Path: other
+  /// binaries' top-level sections are preserved, this section is
+  /// replaced (or appended). An unreadable or malformed file is
+  /// overwritten with just this section. Returns false if the file
+  /// cannot be written.
+  bool writeMerged(const std::string &Path) const;
+
+  /// Extracts `--bench-json FILE` from an argv vector, removing both
+  /// tokens so downstream parsers (e.g. google-benchmark) never see
+  /// them. Returns the path, or "" when the flag is absent.
+  static std::string consumeFlag(int &Argc, char **Argv);
+
+private:
+  /// Flat (dotted key, rendered scalar) pairs in insertion order; the
+  /// renderer turns shared dotted prefixes into nested objects.
+  std::vector<std::pair<std::string, std::string>> Values;
+  std::string Section;
+};
+
+} // namespace ra
+
+#endif // RA_BENCH_BENCHJSON_H

@@ -12,11 +12,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "regalloc/Coloring.h"
 #include "regalloc/DegreeBuckets.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <future>
 
 using namespace ra;
 
@@ -97,6 +104,121 @@ void BM_DegreeBuckets(benchmark::State &State) {
 }
 BENCHMARK(BM_DegreeBuckets)->Arg(1024)->Arg(16384);
 
+//===--------------------------------------------------------------------===//
+// Random-graph throughput workload: many independent graphs colored
+// across a thread pool — the module-allocation shape, minus IR noise.
+// Reports graphs/sec per worker count and the speedup over one worker;
+// results are checked identical across worker counts.
+//===--------------------------------------------------------------------===//
+
+struct ThroughputRun {
+  double Seconds = 0;
+  double GraphsPerSec = 0;
+  double SimplifySeconds = 0, SelectSeconds = 0;
+  std::vector<unsigned> SpillCounts; ///< determinism fingerprint
+};
+
+ThroughputRun runThroughput(std::vector<InterferenceGraph> &Graphs,
+                            Heuristic H, unsigned Threads) {
+  ThroughputRun R;
+  R.SpillCounts.resize(Graphs.size());
+  std::vector<ColoringResult> Results(Graphs.size());
+  Timer Wall;
+  Wall.start();
+  if (Threads <= 1) {
+    for (size_t I = 0; I < Graphs.size(); ++I)
+      Results[I] = colorGraph(Graphs[I], 8, H);
+  } else {
+    ThreadPool Pool(Threads);
+    std::vector<std::future<ColoringResult>> Pending;
+    Pending.reserve(Graphs.size());
+    for (InterferenceGraph &G : Graphs)
+      Pending.push_back(
+          Pool.submit([&G, H] { return colorGraph(G, 8, H); }));
+    for (size_t I = 0; I < Graphs.size(); ++I)
+      Results[I] = Pending[I].get();
+  }
+  Wall.stop();
+  R.Seconds = Wall.seconds();
+  R.GraphsPerSec = R.Seconds > 0 ? Graphs.size() / R.Seconds : 0;
+  for (size_t I = 0; I < Graphs.size(); ++I) {
+    R.SpillCounts[I] = Results[I].Spilled.size();
+    R.SimplifySeconds += Results[I].SimplifySeconds;
+    R.SelectSeconds += Results[I].SelectSeconds;
+  }
+  return R;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  std::string JsonPath = BenchJson::consumeFlag(Argc, Argv);
+  unsigned Jobs = 4;
+  unsigned NumGraphs = 48, NodesPerGraph = 3000;
+  int W = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Jobs = unsigned(std::atoi(Argv[++I]));
+    else if (std::strcmp(Argv[I], "--graphs") == 0 && I + 1 < Argc)
+      NumGraphs = unsigned(std::atoi(Argv[++I]));
+    else
+      Argv[W++] = Argv[I];
+  }
+  Argc = W;
+  if (Jobs == 0)
+    Jobs = ThreadPool::resolveJobs(0);
+
+  std::vector<InterferenceGraph> Graphs;
+  Graphs.reserve(NumGraphs);
+  for (unsigned I = 0; I < NumGraphs; ++I) {
+    Graphs.push_back(makeRandomGraph(NodesPerGraph, 12.0, 1000 + I));
+    Graphs.back().finalize(); // share safely across workers
+  }
+
+  BenchJson J("micro_coloring");
+  J.set("random_graph_workload.num_graphs", NumGraphs);
+  J.set("random_graph_workload.nodes_per_graph", NodesPerGraph);
+  J.set("random_graph_workload.avg_degree", 12.0);
+  J.set("random_graph_workload.colors", 8);
+
+  std::printf("Random-graph throughput (%u graphs x %u nodes, k=8)\n",
+              NumGraphs, NodesPerGraph);
+  for (Heuristic H : {Heuristic::Chaitin, Heuristic::Briggs}) {
+    ThroughputRun Serial = runThroughput(Graphs, H, 1);
+    std::string P = std::string("random_graph_workload.") +
+                    heuristicName(H) + ".";
+    J.set(P + "simplify_seconds", Serial.SimplifySeconds);
+    J.set(P + "select_seconds", Serial.SelectSeconds);
+    J.set(P + "threads.1.seconds", Serial.Seconds);
+    J.set(P + "threads.1.graphs_per_sec", Serial.GraphsPerSec);
+    std::printf("  %-12s 1 thread : %8.1f graphs/sec\n",
+                heuristicName(H), Serial.GraphsPerSec);
+    for (unsigned T = 2; T <= Jobs; T *= 2) {
+      ThroughputRun Par = runThroughput(Graphs, H, T);
+      if (Par.SpillCounts != Serial.SpillCounts) {
+        std::fprintf(stderr,
+                     "FATAL: %u-thread coloring differs from serial\n", T);
+        return 1;
+      }
+      double Speedup =
+          Par.Seconds > 0 ? Serial.Seconds / Par.Seconds : 0;
+      std::string TP = P + "threads." + std::to_string(T) + ".";
+      J.set(TP + "seconds", Par.Seconds);
+      J.set(TP + "graphs_per_sec", Par.GraphsPerSec);
+      J.set(TP + "speedup_vs_1thread", Speedup);
+      std::printf("  %-12s %u threads: %8.1f graphs/sec (%.2fx, "
+                  "results identical)\n",
+                  heuristicName(H), T, Par.GraphsPerSec, Speedup);
+    }
+  }
+
+  if (!JsonPath.empty() && !J.writeMerged(JsonPath))
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

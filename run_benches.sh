@@ -1,6 +1,32 @@
 #!/bin/sh
-# Regenerates every reproduced table/figure (see EXPERIMENTS.md).
+# Regenerates every reproduced table/figure (see EXPERIMENTS.md) and the
+# BENCH_allocator.json perf telemetry each binary merges its section into.
+#
+#   usage: run_benches.sh [BUILD_DIR]    (default: build)
+#
+# Set BENCH_JSON to redirect the telemetry file.
 set -e
-for b in build/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] && echo "==== $b ====" && "$b"
+
+BUILD_DIR="${1:-build}"
+BENCH_JSON="${BENCH_JSON:-BENCH_allocator.json}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: '$BUILD_DIR/bench' does not exist — build first" \
+       "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+found=0
+for b in "$BUILD_DIR"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  found=1
+  echo "==== $b ===="
+  "$b" --bench-json "$BENCH_JSON"
 done
+
+if [ "$found" -eq 0 ]; then
+  echo "error: no bench binaries under '$BUILD_DIR/bench'" >&2
+  exit 1
+fi
+
+echo "==== telemetry merged into $BENCH_JSON ===="

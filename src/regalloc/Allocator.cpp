@@ -15,8 +15,17 @@
 #include "support/Timer.h"
 
 #include <cassert>
+#include <thread>
 
 using namespace ra;
+
+namespace {
+
+/// Nodes below which a class graph is colored on the calling thread:
+/// spawning a thread costs more than simplifying a small graph.
+constexpr unsigned ParallelClassThreshold = 256;
+
+} // namespace
 
 AllocationResult ra::allocateRegisters(Function &F,
                                        const AllocatorConfig &C) {
@@ -61,10 +70,31 @@ AllocationResult ra::allocateRegisters(Function &F,
     //===----------------------------------------------------------===//
     std::vector<VRegId> ToSpill;
     std::array<ColoringResult, NumRegClasses> Colorings;
+    static_assert(NumRegClasses == 2, "per-class threading assumes 2");
+    bool Concurrent =
+        C.ParallelClasses &&
+        Graphs[0].Graph.numNodes() >= ParallelClassThreshold &&
+        Graphs[1].Graph.numNodes() >= ParallelClassThreshold;
+    if (Concurrent) {
+      // The two class files are disjoint, so their colorings share no
+      // state; run Float on a helper thread while Int colors here.
+      // Results land in fixed slots — output is identical to serial.
+      std::thread Helper([&] {
+        Colorings[1] =
+            colorGraph(Graphs[1].Graph, C.Machine.numRegs(Graphs[1].Class),
+                       C.H);
+      });
+      Colorings[0] = colorGraph(Graphs[0].Graph,
+                                C.Machine.numRegs(Graphs[0].Class), C.H);
+      Helper.join();
+    } else {
+      for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls)
+        Colorings[Cls] = colorGraph(Graphs[Cls].Graph,
+                                    C.Machine.numRegs(Graphs[Cls].Class),
+                                    C.H);
+    }
     for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls) {
       ClassGraph &CG = Graphs[Cls];
-      Colorings[Cls] =
-          colorGraph(CG.Graph, C.Machine.numRegs(CG.Class), C.H);
       Rec.SimplifySeconds += Colorings[Cls].SimplifySeconds;
       Rec.SelectSeconds += Colorings[Cls].SelectSeconds;
       for (uint32_t Node : Colorings[Cls].Spilled) {

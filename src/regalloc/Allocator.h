@@ -49,6 +49,14 @@ struct AllocatorConfig {
   /// reloading them (off by default: the paper's allocator predates
   /// rematerialization; turn on to measure the refinement).
   bool Rematerialize = false;
+  /// Worker threads for \c allocateModule (functions are independent
+  /// allocation units). 1 = serial; 0 = one per hardware thread. Output
+  /// is bit-identical at any setting.
+  unsigned Jobs = 1;
+  /// Color the Int and Float graphs of one function on two threads when
+  /// both are large enough to pay for a thread. Never changes results:
+  /// the two class graphs share no state.
+  bool ParallelClasses = true;
 };
 
 /// Phase timings and spill decisions of one Build-Simplify-Color pass.
@@ -122,6 +130,32 @@ struct AllocationResult {
 
 /// Allocates registers for \p F (mutating it) with configuration \p C.
 AllocationResult allocateRegisters(Function &F, const AllocatorConfig &C);
+
+class Module;
+
+/// Result of allocating every function of a module.
+struct ModuleAllocationResult {
+  /// Per-function results, in module function order regardless of the
+  /// order worker threads finished in.
+  std::vector<AllocationResult> Functions;
+  /// Wall-clock seconds for the whole module (all functions, all
+  /// workers) — the denominator of the bench JSON's graphs/sec.
+  double WallSeconds = 0;
+
+  bool allSucceeded() const {
+    for (const AllocationResult &R : Functions)
+      if (!R.Success)
+        return false;
+    return true;
+  }
+};
+
+/// Allocates registers for every function in \p M (mutating them),
+/// farming functions out across \c C.Jobs pool workers. Functions are
+/// independent allocation units, so the result — rewritten functions,
+/// colors, spill decisions — is bit-identical to running
+/// \c allocateRegisters serially in function order.
+ModuleAllocationResult allocateModule(Module &M, const AllocatorConfig &C);
 
 } // namespace ra
 

@@ -70,6 +70,10 @@ ra::buildInterferenceGraphs(const Function &F, const Liveness &LV) {
     ClassGraph &CG = Out[static_cast<unsigned>(F.regClass(D))];
     CG.Graph.addEdge(CG.VRegToNode[D], CG.VRegToNode[L]);
   });
+  // Pack adjacency into CSR here, once, so the graphs are ready to be
+  // colored concurrently (the lazy build in neighbors() must not race).
+  for (ClassGraph &CG : Out)
+    CG.Graph.finalize();
   return Out;
 }
 

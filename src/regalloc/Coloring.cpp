@@ -7,6 +7,7 @@
 #include "regalloc/Coloring.h"
 
 #include "regalloc/DegreeBuckets.h"
+#include "regalloc/SpillHeap.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -24,47 +25,18 @@ const char *ra::heuristicName(Heuristic H) {
 
 namespace {
 
-/// Scans the live nodes for Chaitin's spill candidate: the minimum
-/// ratio of precomputed spill cost to *current* degree. NoSpill nodes
-/// (spill temporaries) rank behind everything else; ties break toward
-/// the lowest node id so all heuristics make identical choices.
-uint32_t pickSpillCandidate(const InterferenceGraph &G,
-                            const DegreeBuckets &Buckets) {
-  uint32_t Best = DegreeBuckets::None;
-  double BestRatio = 0;
-  bool BestNoSpill = true;
-  for (uint32_t N = 0, E = G.numNodes(); N != E; ++N) {
-    if (Buckets.isRemoved(N))
-      continue;
-    const IGNode &Node = G.node(N);
-    uint32_t Deg = Buckets.degree(N);
-    assert(Deg > 0 && "stuck with an isolated node");
-    double Ratio = Node.NoSpill ? InterferenceGraph::InfiniteCost
-                                : Node.SpillCost / double(Deg);
-    bool Better;
-    if (Best == DegreeBuckets::None)
-      Better = true;
-    else if (Node.NoSpill != BestNoSpill)
-      Better = !Node.NoSpill; // spillable beats no-spill
-    else
-      Better = Ratio < BestRatio;
-    if (Better) {
-      Best = N;
-      BestRatio = Ratio;
-      BestNoSpill = Node.NoSpill;
-    }
-  }
-  assert(Best != DegreeBuckets::None && "no live node to spill");
-  return Best;
-}
-
-/// Removes \p N from the working graph, decrementing live neighbors.
+/// Removes \p N from the working graph, decrementing live neighbors and
+/// pushing their refreshed cost/degree entries (once \p Spill is active).
 void removeNode(const InterferenceGraph &G, DegreeBuckets &Buckets,
-                uint32_t N) {
+                SpillCandidateHeap &Spill, uint32_t N) {
   Buckets.remove(N);
   for (uint32_t M : G.neighbors(N))
-    if (!Buckets.isRemoved(M))
+    if (!Buckets.isRemoved(M)) {
       Buckets.decrementDegree(M);
+      uint32_t D = Buckets.degree(M);
+      if (D > 0) // isolated nodes are never spill candidates
+        Spill.update(G, M, D);
+    }
 }
 
 } // namespace
@@ -77,6 +49,11 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
   R.ColorOf.assign(N, -1);
   if (N == 0)
     return R;
+
+  // Pack adjacency into its CSR layout up front: simplify/select then
+  // read only sequential memory, and concurrent colorings of already-
+  // finalized graphs never mutate shared state.
+  G.finalize();
 
   Timer SimplifyTimer, SelectTimer;
 
@@ -94,6 +71,7 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
 
   R.RemovalOrder.reserve(N);
   std::vector<bool> MarkedSpilled(N, false); // Chaitin only
+  SpillCandidateHeap SpillHeap; // built on the first stuck step
 
   uint32_t Hint = 0;
   while (Buckets.numLive() != 0) {
@@ -110,8 +88,12 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
       // Stuck: every remaining node has K or more neighbors. Fall back
       // on Chaitin's estimator (Section 2.3) to choose the node, then
       // either mark it spilled (Chaitin) or push it optimistically
-      // (Briggs).
-      Chosen = pickSpillCandidate(G, Buckets);
+      // (Briggs). The lazy heap makes selection O(log n) instead of a
+      // rescan of every live node; until the first stuck step it costs
+      // nothing at all.
+      if (!SpillHeap.active())
+        SpillHeap.build(G, Buckets);
+      Chosen = SpillHeap.pick(Buckets);
       if (H == Heuristic::Chaitin) {
         MarkedSpilled[Chosen] = true;
         R.Spilled.push_back(Chosen);
@@ -120,7 +102,7 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
       }
     }
 
-    removeNode(G, Buckets, Chosen);
+    removeNode(G, Buckets, SpillHeap, Chosen);
     if (Push)
       R.RemovalOrder.push_back(Chosen);
     // Matula-Beck's search refinement: removing a node from bucket D

@@ -9,7 +9,16 @@
 /// ranges that are simultaneously live. Following Chaitin [CACC 81] the
 /// graph is kept in two forms at once — a triangular bit matrix for O(1)
 /// membership tests (used when adding edges and when coalescing) and
-/// adjacency vectors for iteration (used by simplify and select).
+/// adjacency for iteration (used by simplify and select).
+///
+/// Adjacency is stored in CSR (compressed sparse row) form: edges are
+/// accumulated into a flat edge list during build, then a two-pass
+/// count/prefix-sum/fill pass packs every node's neighbors into one
+/// contiguous array. Compared to per-node std::vectors this does two
+/// allocations instead of 2E amortized ones and keeps simplify/select
+/// walking sequential memory. Neighbor order within a node is edge
+/// insertion order, exactly as the old per-node vectors produced, so
+/// removal sequences and colorings are unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +30,7 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,13 +54,15 @@ public:
   /// Discards everything and allocates \p NumNodes isolated nodes.
   void reset(unsigned NumNodes) {
     Nodes.assign(NumNodes, IGNode());
-    Adj.assign(NumNodes, {});
+    Degrees.assign(NumNodes, 0);
+    EdgeA.clear();
+    EdgeB.clear();
     Matrix.reset(NumNodes);
-    Edges = 0;
+    CSRValid = false;
   }
 
   unsigned numNodes() const { return Nodes.size(); }
-  unsigned numEdges() const { return Edges; }
+  unsigned numEdges() const { return EdgeA.size(); }
 
   IGNode &node(unsigned N) {
     assert(N < Nodes.size() && "node out of range");
@@ -62,36 +74,76 @@ public:
   }
 
   /// Adds the undirected edge {A, B} unless it exists or A == B.
-  /// Returns true iff a new edge was inserted.
+  /// Returns true iff a new edge was inserted. Invalidates the CSR
+  /// layout; it is rebuilt on the next neighbor query.
   bool addEdge(unsigned A, unsigned B) {
     if (A == B)
       return false;
     if (!Matrix.testAndSet(A, B))
       return false;
-    Adj[A].push_back(B);
-    Adj[B].push_back(A);
-    ++Edges;
+    EdgeA.push_back(A);
+    EdgeB.push_back(B);
+    ++Degrees[A];
+    ++Degrees[B];
+    CSRValid = false;
     return true;
   }
 
   bool interferes(unsigned A, unsigned B) const { return Matrix.test(A, B); }
 
-  const std::vector<uint32_t> &neighbors(unsigned N) const {
-    assert(N < Adj.size() && "node out of range");
-    return Adj[N];
+  /// Neighbors of \p N in edge insertion order, as a view into the CSR
+  /// array. Building the CSR arrays is done lazily on first use (and by
+  /// \c finalize); concurrent readers must finalize first.
+  std::span<const uint32_t> neighbors(unsigned N) const {
+    assert(N < Nodes.size() && "node out of range");
+    if (!CSRValid)
+      buildCSR();
+    return {Flat.data() + Offsets[N], Degrees[N]};
   }
 
   /// Degree in the full (unsimplified) graph.
-  unsigned degree(unsigned N) const { return Adj[N].size(); }
+  unsigned degree(unsigned N) const { return Degrees[N]; }
+
+  /// Packs the adjacency into CSR form (count / prefix-sum / fill).
+  /// Idempotent; call before sharing the graph across threads so the
+  /// lazy build in \c neighbors can never race.
+  void finalize() const {
+    if (!CSRValid)
+      buildCSR();
+  }
 
   /// Effectively-infinite spill cost for must-keep nodes.
   static constexpr double InfiniteCost = std::numeric_limits<double>::max();
 
 private:
+  void buildCSR() const {
+    unsigned N = Nodes.size();
+    // Pass 1: the degree counts are maintained by addEdge; prefix-sum
+    // them into row offsets.
+    Offsets.assign(N + 1, 0);
+    for (unsigned I = 0; I < N; ++I)
+      Offsets[I + 1] = Offsets[I] + Degrees[I];
+    // Pass 2: fill. Cursor starts at each row's offset; scanning the
+    // edge list in insertion order reproduces the order the old
+    // per-node vectors had.
+    Flat.resize(Offsets[N]);
+    std::vector<uint32_t> Cursor(Offsets.begin(), Offsets.end() - 1);
+    for (size_t E = 0, EC = EdgeA.size(); E != EC; ++E) {
+      Flat[Cursor[EdgeA[E]]++] = EdgeB[E];
+      Flat[Cursor[EdgeB[E]]++] = EdgeA[E];
+    }
+    CSRValid = true;
+  }
+
   std::vector<IGNode> Nodes;
-  std::vector<std::vector<uint32_t>> Adj;
+  std::vector<uint32_t> Degrees;       ///< Full-graph degree per node.
+  std::vector<uint32_t> EdgeA, EdgeB;  ///< Flat edge list (build order).
   TriangularBitMatrix Matrix;
-  unsigned Edges = 0;
+
+  // CSR arrays, derived from the edge list on demand.
+  mutable std::vector<uint32_t> Offsets; ///< Row starts, size numNodes()+1.
+  mutable std::vector<uint32_t> Flat;    ///< Concatenated neighbor lists.
+  mutable bool CSRValid = false;
 };
 
 } // namespace ra

@@ -1,0 +1,123 @@
+//===- regalloc/SpillHeap.h - Lazy spill-candidate heap --------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// O(log n) selection of Chaitin's spill candidate — the live node
+/// minimizing SpillCost / current degree (Section 2.3) — replacing the
+/// O(n) rescan of every live node on every stuck step.
+///
+/// The heap is *lazy*: entries are never updated in place. The first
+/// stuck step heapifies all live nodes; afterwards every degree
+/// decrement pushes a fresh entry, and selection pops and discards
+/// entries that no longer match the node's current state (removed, or a
+/// stale degree). Degrees only decrease during simplify, so the entry
+/// carrying a node's current degree is always present and any entry
+/// with a mismatched degree is stale by construction.
+///
+/// Ordering is identical to the linear scan it replaces: spillable
+/// nodes beat NoSpill nodes, then lowest cost/degree ratio, then lowest
+/// node id (the paper's footnote 4 tie-break) — so Chaitin and Briggs
+/// still make exactly the same choices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_REGALLOC_SPILLHEAP_H
+#define RA_REGALLOC_SPILLHEAP_H
+
+#include "regalloc/DegreeBuckets.h"
+#include "regalloc/InterferenceGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ra {
+
+/// Min-heap of (spillability, cost/degree, node id) over live nodes,
+/// with lazy invalidation against a DegreeBuckets worklist.
+class SpillCandidateHeap {
+public:
+  /// True once \c build has run; until then the owner pays nothing for
+  /// maintaining the heap (the common no-spill allocation never builds).
+  bool active() const { return Active; }
+
+  /// Heapifies every live node at its current degree. O(live nodes).
+  void build(const InterferenceGraph &G, const DegreeBuckets &Buckets) {
+    assert(!Active && "heap already built");
+    Entries.clear();
+    Entries.reserve(Buckets.numLive());
+    for (uint32_t N = 0, E = G.numNodes(); N != E; ++N)
+      if (!Buckets.isRemoved(N))
+        Entries.push_back(makeEntry(G.node(N), N, Buckets.degree(N)));
+    std::make_heap(Entries.begin(), Entries.end(), HeapLess);
+    Active = true;
+  }
+
+  /// Records that live node \p N now has degree \p Degree. O(log n).
+  /// No-op until \c build has run.
+  void update(const InterferenceGraph &G, uint32_t N, uint32_t Degree) {
+    if (!Active)
+      return;
+    Entries.push_back(makeEntry(G.node(N), N, Degree));
+    std::push_heap(Entries.begin(), Entries.end(), HeapLess);
+  }
+
+  /// Pops the best current spill candidate, discarding stale entries.
+  /// The caller must remove the returned node from the graph (its
+  /// entry has been consumed).
+  uint32_t pick(const DegreeBuckets &Buckets) {
+    assert(Active && "pick before build");
+    while (!Entries.empty()) {
+      std::pop_heap(Entries.begin(), Entries.end(), HeapLess);
+      Entry Top = Entries.back();
+      Entries.pop_back();
+      if (!Buckets.isRemoved(Top.Node) &&
+          Buckets.degree(Top.Node) == Top.Degree)
+        return Top.Node;
+    }
+    assert(false && "no live node to spill");
+    return DegreeBuckets::None;
+  }
+
+private:
+  struct Entry {
+    double Ratio;    ///< SpillCost / degree-at-push (NoSpill: infinite).
+    uint32_t Node;
+    uint32_t Degree; ///< Degree at push time; stale when it disagrees.
+    bool NoSpill;
+  };
+
+  static Entry makeEntry(const IGNode &Node, uint32_t N, uint32_t Degree) {
+    assert(Degree > 0 && "stuck with an isolated node");
+    double Ratio = Node.NoSpill ? InterferenceGraph::InfiniteCost
+                                : Node.SpillCost / double(Degree);
+    return {Ratio, N, Degree, Node.NoSpill};
+  }
+
+  /// Strict-weak "A is a better candidate than B". Matches the linear
+  /// scan: spillable first, then ratio, then lowest id.
+  static bool better(const Entry &A, const Entry &B) {
+    if (A.NoSpill != B.NoSpill)
+      return !A.NoSpill;
+    if (A.Ratio != B.Ratio)
+      return A.Ratio < B.Ratio;
+    return A.Node < B.Node;
+  }
+
+  /// std::*_heap comparator: a max-heap under this predicate is a
+  /// min-heap under \c better.
+  static bool HeapLess(const Entry &A, const Entry &B) {
+    return better(B, A);
+  }
+
+  std::vector<Entry> Entries;
+  bool Active = false;
+};
+
+} // namespace ra
+
+#endif // RA_REGALLOC_SPILLHEAP_H

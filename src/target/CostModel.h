@@ -1,0 +1,83 @@
+//===- target/CostModel.h - Per-opcode cycle costs -------------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle cost per opcode, modeled after the IBM RT/PC: cheap
+/// single-cycle integer ALU, a floating-point coprocessor whose
+/// operations cost an order of magnitude more, and 4-byte fixed-width
+/// instructions. The FP/integer ratio is what keeps the paper's dynamic
+/// improvements small on FP-dominated codes (spill traffic is noise
+/// next to the FP work) and visible on the integer quicksort.
+///
+/// Spill loads/stores have their own opcodes so the cost model and the
+/// spill-cost estimator (Section 2.3's cost/degree metric) price spill
+/// traffic identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_TARGET_COSTMODEL_H
+#define RA_TARGET_COSTMODEL_H
+
+#include "ir/Opcode.h"
+
+namespace ra {
+
+/// Per-opcode cycle costs plus instruction encoding width.
+class CostModel {
+public:
+  /// The paper's target: RT/PC-like latencies with an attached FP
+  /// coprocessor (FP ops cost >> integer ops).
+  static CostModel rtpc() { return CostModel(); }
+
+  /// Cycles to execute one instruction with opcode \p Op.
+  unsigned cycles(Opcode Op) const {
+    switch (Op) {
+    case Opcode::MovI:   return 1;
+    case Opcode::MovF:   return 2;
+    case Opcode::Copy:   return 1;
+    case Opcode::Add:    return 1;
+    case Opcode::Sub:    return 1;
+    case Opcode::Mul:    return 5;
+    case Opcode::Div:    return 19;
+    case Opcode::Rem:    return 19;
+    case Opcode::AddI:   return 1;
+    case Opcode::MulI:   return 5;
+    case Opcode::FAdd:   return 11;
+    case Opcode::FSub:   return 11;
+    case Opcode::FMul:   return 13;
+    case Opcode::FDiv:   return 57;
+    case Opcode::FNeg:   return 4;
+    case Opcode::FAbs:   return 4;
+    case Opcode::FSqrt:  return 121;
+    case Opcode::IToF:   return 8;
+    case Opcode::FToI:   return 8;
+    case Opcode::Load:   return 2;
+    case Opcode::FLoad:  return 3;
+    case Opcode::Store:  return 2;
+    case Opcode::FStore: return 3;
+    case Opcode::SpillLd: return 2;
+    case Opcode::SpillSt: return 2;
+    case Opcode::Br:     return 2;
+    case Opcode::Jmp:    return 1;
+    case Opcode::Ret:    return 2;
+    }
+    return 1;
+  }
+
+  /// Cost of one spill reload — the "load" term of Chaitin's estimate.
+  double spillLoadCost() const { return cycles(Opcode::SpillLd); }
+
+  /// Cost of one spill store — the "store" term of Chaitin's estimate.
+  double spillStoreCost() const { return cycles(Opcode::SpillSt); }
+
+  /// Fixed instruction encoding width (RISC, 4 bytes) used for the
+  /// paper's object-size columns.
+  unsigned bytesPerInstruction() const { return 4; }
+};
+
+} // namespace ra
+
+#endif // RA_TARGET_COSTMODEL_H

@@ -1,0 +1,58 @@
+//===- target/MachineInfo.h - Register file description --------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine description for the allocator: how many registers each class
+/// holds. The default models the paper's IBM RT/PC — sixteen general
+/// purpose registers and eight floating-point registers in disjoint
+/// files. The counts are configurable so the Figure 6 study can shrink
+/// the integer file from 16 down to 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_TARGET_MACHINEINFO_H
+#define RA_TARGET_MACHINEINFO_H
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+namespace ra {
+
+/// Per-class register file sizes.
+class MachineInfo {
+public:
+  MachineInfo(unsigned IntRegs, unsigned FltRegs) {
+    assert(IntRegs >= 1 && FltRegs >= 1 && "empty register file");
+    Regs[unsigned(RegClass::Int)] = IntRegs;
+    Regs[unsigned(RegClass::Float)] = FltRegs;
+  }
+
+  /// The paper's target: IBM RT/PC, 16 integer / 8 floating-point.
+  static MachineInfo rtpc() { return MachineInfo(16, 8); }
+
+  /// Number of allocatable registers in class \p RC.
+  unsigned numRegs(RegClass RC) const {
+    return Regs[static_cast<unsigned>(RC)];
+  }
+
+  /// Copy with the integer file resized (Figure 6's shrinking study).
+  MachineInfo withIntRegs(unsigned K) const {
+    return MachineInfo(K, Regs[unsigned(RegClass::Float)]);
+  }
+
+  /// Copy with the floating-point file resized.
+  MachineInfo withFloatRegs(unsigned K) const {
+    return MachineInfo(Regs[unsigned(RegClass::Int)], K);
+  }
+
+private:
+  unsigned Regs[NumRegClasses];
+};
+
+} // namespace ra
+
+#endif // RA_TARGET_MACHINEINFO_H

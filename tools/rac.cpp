@@ -10,16 +10,21 @@
 //
 //   --heuristic chaitin|briggs|matula-beck   coloring policy (briggs)
 //   --int K / --flt K    register file sizes (16 / 8)
+//   --jobs N             allocate functions on N pool workers
+//                        (0 = one per hardware thread; output is
+//                        bit-identical at any setting)
 //   --no-opt             skip LICM/strength reduction/value numbering
 //   --remat              rematerialize constant spills
 //   --print              print the allocated function(s)
 //   --run                execute each function on zero-filled memory
 //   --quiet              suppress the statistics table
+//   --bench-json FILE    merge allocation telemetry into FILE
 //
 // Exit status: 0 on success, 1 on parse/verify/allocation errors.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
@@ -41,8 +46,8 @@ void usage(const char *Prog) {
   std::fprintf(
       stderr,
       "usage: %s FILE.ral [--heuristic chaitin|briggs|matula-beck]\n"
-      "       [--int K] [--flt K] [--no-opt] [--remat] [--print]\n"
-      "       [--run] [--quiet]\n",
+      "       [--int K] [--flt K] [--jobs N] [--no-opt] [--remat]\n"
+      "       [--print] [--run] [--quiet] [--bench-json FILE]\n",
       Prog);
 }
 
@@ -50,8 +55,9 @@ void usage(const char *Prog) {
 
 int main(int Argc, char **Argv) {
   std::string Path;
+  std::string JsonPath = BenchJson::consumeFlag(Argc, Argv);
   Heuristic H = Heuristic::Briggs;
-  unsigned IntK = 16, FltK = 8;
+  unsigned IntK = 16, FltK = 8, Jobs = 1;
   bool Optimize = true, Remat = false, Print = false, Run = false;
   bool Quiet = false;
 
@@ -73,6 +79,8 @@ int main(int Argc, char **Argv) {
       IntK = unsigned(std::atoi(Argv[++I]));
     } else if (Arg == "--flt" && I + 1 < Argc) {
       FltK = unsigned(std::atoi(Argv[++I]));
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      Jobs = unsigned(std::atoi(Argv[++I]));
     } else if (Arg == "--no-opt") {
       Optimize = false;
     } else if (Arg == "--remat") {
@@ -125,16 +133,20 @@ int main(int Argc, char **Argv) {
                "Spilled", "Spill Cost", "Remats", "Object (B)"});
   bool Failed = false;
 
+  if (Optimize)
+    for (unsigned FI = 0; FI < M.numFunctions(); ++FI)
+      optimizeFunction(M.function(FI));
+
+  AllocatorConfig C;
+  C.H = H;
+  C.Machine = MachineInfo(IntK, FltK);
+  C.Rematerialize = Remat;
+  C.Jobs = Jobs;
+  ModuleAllocationResult MA = allocateModule(M, C);
+
   for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
     Function &F = M.function(FI);
-    if (Optimize)
-      optimizeFunction(F);
-
-    AllocatorConfig C;
-    C.H = H;
-    C.Machine = MachineInfo(IntK, FltK);
-    C.Rematerialize = Remat;
-    AllocationResult A = allocateRegisters(F, C);
+    AllocationResult &A = MA.Functions[FI];
     if (!A.Success) {
       std::fprintf(stderr, "@%s: allocation did not converge\n",
                    F.name().c_str());
@@ -184,6 +196,34 @@ int main(int Argc, char **Argv) {
                 Optimize ? ", optimized" : "",
                 Remat ? ", rematerialization" : "");
     Stats.print();
+  }
+
+  if (!JsonPath.empty()) {
+    BenchJson J("rac");
+    double Build = 0, Simplify = 0, Select = 0, Spill = 0;
+    uint64_t Graphs = 0;
+    for (const AllocationResult &A : MA.Functions) {
+      for (const PassRecord &P : A.Stats.Passes) {
+        Build += P.BuildSeconds;
+        Simplify += P.SimplifySeconds;
+        Select += P.SelectSeconds;
+        Spill += P.SpillSeconds;
+        Graphs += NumRegClasses; // one colored graph per class per pass
+      }
+    }
+    J.set("heuristic", std::string(heuristicName(H)));
+    J.set("jobs", Jobs);
+    J.set("functions", uint64_t(M.numFunctions()));
+    J.set("wall_seconds", MA.WallSeconds);
+    J.set("graphs_colored", Graphs);
+    J.set("graphs_per_sec",
+          MA.WallSeconds > 0 ? double(Graphs) / MA.WallSeconds : 0.0);
+    J.set("phases.build_seconds", Build);
+    J.set("phases.simplify_seconds", Simplify);
+    J.set("phases.select_seconds", Select);
+    J.set("phases.spill_seconds", Spill);
+    if (!J.writeMerged(JsonPath))
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
   }
   return Failed ? 1 : 0;
 }
