@@ -53,8 +53,9 @@ SuiteTotals runSuite(Heuristic H, bool Coalesce, bool Optimize,
     C.Coalesce = Coalesce;
     C.Coalescing = Policy;
     C.Rematerialize = Remat;
+    C.Audit = true; // every reported number comes from a proven coloring
     AllocationResult A = allocateRegisters(F, C);
-    if (!A.Success) {
+    if (!A.Success || A.Outcome != AllocOutcome::Converged) {
       ++T.Failures;
       continue;
     }

@@ -23,6 +23,7 @@
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 using namespace ra;
@@ -73,11 +74,12 @@ RoutineResult measure(const Workload &W, PhaseSeconds &OldPhases,
     optimizeFunction(F);
     AllocatorConfig C;
     C.H = H;
+    C.Audit = true; // every reported number comes from a proven coloring
     AllocationResult A = allocateRegisters(F, C);
-    if (!A.Success) {
-      std::fprintf(stderr, "allocation failed for %s\n",
-                   W.Routine.c_str());
-      continue;
+    if (!A.Success || A.Outcome != AllocOutcome::Converged) {
+      std::fprintf(stderr, "allocation failed for %s: %s\n",
+                   W.Routine.c_str(), A.Diag.toString().c_str());
+      std::exit(1);
     }
     Simulator Sim(M, CM);
     MemoryImage Mem(M);

@@ -23,6 +23,7 @@
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace ra;
 
@@ -51,10 +52,12 @@ Config measure(unsigned K, Heuristic H) {
   AllocatorConfig C;
   C.H = H;
   C.Machine = MachineInfo(K, 8);
+  C.Audit = true; // every reported number comes from a proven coloring
   AllocationResult A = allocateRegisters(F, C);
-  if (!A.Success) {
-    std::fprintf(stderr, "allocation failed at k=%u\n", K);
-    return R;
+  if (!A.Success || A.Outcome != AllocOutcome::Converged) {
+    std::fprintf(stderr, "allocation failed at k=%u: %s\n", K,
+                 A.Diag.toString().c_str());
+    std::exit(1);
   }
   R.Spilled = A.Stats.totalSpills();
   R.SpillCost = 0;

@@ -21,6 +21,7 @@
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace ra;
 
@@ -33,9 +34,13 @@ AllocationStats allocate(const std::string &Routine, Heuristic H) {
   optimizeFunction(F);
   AllocatorConfig C;
   C.H = H;
+  C.Audit = true; // every reported number comes from a proven coloring
   AllocationResult A = allocateRegisters(F, C);
-  if (!A.Success)
-    std::fprintf(stderr, "allocation failed for %s\n", Routine.c_str());
+  if (!A.Success || A.Outcome != AllocOutcome::Converged) {
+    std::fprintf(stderr, "allocation failed for %s: %s\n", Routine.c_str(),
+                 A.Diag.toString().c_str());
+    std::exit(1);
+  }
   return A.Stats;
 }
 

@@ -22,6 +22,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 
@@ -45,9 +46,22 @@ InterferenceGraph makeRandomGraph(unsigned NumNodes, double AvgDegree,
   return G;
 }
 
+/// Colors once outside the timed region and aborts the whole run if
+/// the result is not a provably valid coloring: a benchmark of wrong
+/// answers is worse than no benchmark.
+void validateOrDie(const InterferenceGraph &G, unsigned K, Heuristic H) {
+  ColoringResult R = colorGraph(G, K, H);
+  if (!isValidColoring(G, K, R)) {
+    std::fprintf(stderr, "invalid %s coloring at K=%u on %u nodes\n",
+                 heuristicName(H), K, G.numNodes());
+    std::exit(1);
+  }
+}
+
 void BM_ColorGraph(benchmark::State &State, Heuristic H) {
   unsigned NumNodes = unsigned(State.range(0));
   InterferenceGraph G = makeRandomGraph(NumNodes, 12.0, 42);
+  validateOrDie(G, 8, H);
   for (auto _ : State) {
     ColoringResult R = colorGraph(G, 8, H);
     benchmark::DoNotOptimize(R.ColorOf.data());
@@ -70,6 +84,7 @@ BENCHMARK(BM_MatulaBeck)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
 void BM_BriggsNoSpills(benchmark::State &State) {
   unsigned NumNodes = unsigned(State.range(0));
   InterferenceGraph G = makeRandomGraph(NumNodes, 12.0, 42);
+  validateOrDie(G, 32, Heuristic::Briggs);
   for (auto _ : State) {
     ColoringResult R = colorGraph(G, 32, Heuristic::Briggs);
     benchmark::DoNotOptimize(R.ColorOf.data());
@@ -121,6 +136,7 @@ struct ThroughputRun {
 ThroughputRun runThroughput(std::vector<InterferenceGraph> &Graphs,
                             Heuristic H, unsigned Threads) {
   ThroughputRun R;
+  validateOrDie(Graphs.front(), 8, H); // sanity before the timed sweep
   R.SpillCounts.resize(Graphs.size());
   std::vector<ColoringResult> Results(Graphs.size());
   Timer Wall;

@@ -10,6 +10,11 @@ set -e
 BUILD_DIR="${1:-build}"
 BENCH_JSON="${BENCH_JSON:-BENCH_allocator.json}"
 
+# Every allocation behind a published number must pass the independent
+# post-allocation audit (the bench binaries also force C.Audit on).
+RA_AUDIT=1
+export RA_AUDIT
+
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "error: '$BUILD_DIR/bench' does not exist — build first" \
        "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2

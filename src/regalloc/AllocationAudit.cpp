@@ -1,0 +1,350 @@
+//===- regalloc/AllocationAudit.cpp - Post-allocation verifier ------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Everything here is recomputed from the function text: liveness with a
+// local backward solver, register conflicts at definition points, and a
+// forward store-before-load dataflow over spill slots. None of the
+// allocator's own analyses (Liveness, BuildGraph, the interference
+// graph) are reused, so the audit catches their bugs rather than
+// inheriting them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/AllocationAudit.h"
+
+#include "support/BitVector.h"
+
+#include <deque>
+
+using namespace ra;
+
+namespace {
+
+/// Formats an operand without needing the enclosing Module (the audit
+/// runs inside allocateRegisters, which only sees the Function).
+std::string operandText(const Function &F, const Operand &O) {
+  switch (O.K) {
+  case Operand::Kind::Reg:
+    return O.Reg < F.numVRegs() ? "%" + F.vreg(O.Reg).Name
+                                : "%<out-of-range:" + std::to_string(O.Reg) +
+                                      ">";
+  case Operand::Kind::IntImm:
+    return std::to_string(O.Imm);
+  case Operand::Kind::FloatImm:
+    return std::to_string(O.FImm);
+  case Operand::Kind::Array:
+    return "@array." + std::to_string(O.Array);
+  case Operand::Kind::Block:
+    return O.Block < F.numBlocks() ? F.block(O.Block).Name
+                                   : "<bad-block:" + std::to_string(O.Block) +
+                                         ">";
+  case Operand::Kind::None:
+    break;
+  }
+  return "<none>";
+}
+
+std::string instructionText(const Function &F, const Instruction &I) {
+  std::string Out = opcodeName(I.Op);
+  for (unsigned Idx = 0; Idx < I.Ops.size(); ++Idx)
+    Out += (Idx ? ", " : " ") + operandText(F, I.Ops[Idx]);
+  return Out;
+}
+
+class Auditor {
+public:
+  Auditor(const Function &F, const AllocationResult &A) : F(F), A(A) {}
+
+  std::vector<std::string> run() {
+    if (!checkStructure())
+      return Errors; // dataflow below needs well-shaped blocks
+    checkAssignments();
+    if (Errors.empty()) {
+      computeLiveness();
+      checkRegisterConflicts();
+      checkSpillSlots();
+    }
+    return Errors;
+  }
+
+private:
+  void error(const BasicBlock &B, const Instruction &I,
+             const std::string &Msg) {
+    Errors.push_back("@" + F.name() + ": in " + B.Name + ": '" +
+                     instructionText(F, I) + "': " + Msg);
+  }
+
+  void error(const std::string &Msg) {
+    Errors.push_back("@" + F.name() + ": " + Msg);
+  }
+
+  /// Shape checks the later dataflow depends on: non-empty terminated
+  /// blocks, in-range branch targets and register ids.
+  bool checkStructure() {
+    if (F.numBlocks() == 0) {
+      error("function has no blocks");
+      return false;
+    }
+    for (const BasicBlock &B : F.blocks()) {
+      if (B.Insts.empty()) {
+        error("block " + B.Name + " is empty");
+        return false;
+      }
+      for (unsigned Idx = 0, E = B.Insts.size(); Idx != E; ++Idx) {
+        const Instruction &I = B.Insts[Idx];
+        if (I.isTerminator() != (Idx + 1 == E)) {
+          error(B, I, Idx + 1 == E ? "block does not end in a terminator"
+                                   : "terminator in the middle of a block");
+          return false;
+        }
+        for (const Operand &O : I.Ops) {
+          if (O.isReg() && O.Reg >= F.numVRegs()) {
+            error(B, I, "register id out of range");
+            return false;
+          }
+          if (O.isBlock() && O.Block >= F.numBlocks()) {
+            error(B, I, "branch to out-of-range block");
+            return false;
+          }
+        }
+        if ((I.Op == Opcode::SpillLd || I.Op == Opcode::SpillSt) &&
+            (I.Ops.size() != 2 || !I.Ops[0].isReg() ||
+             I.Ops[1].K != Operand::Kind::IntImm)) {
+          error(B, I, "malformed spill instruction");
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Every register operand must map to a physical register inside its
+  /// class's file.
+  void checkAssignments() {
+    if (A.ColorOf.size() != F.numVRegs()) {
+      error("allocation covers " + std::to_string(A.ColorOf.size()) +
+            " registers but the function has " +
+            std::to_string(F.numVRegs()));
+      return;
+    }
+    BitVector Reported(F.numVRegs());
+    for (const BasicBlock &B : F.blocks()) {
+      for (const Instruction &I : B.Insts) {
+        for (const Operand &O : I.Ops) {
+          if (!O.isReg() || !Reported.testAndSet(O.Reg))
+            continue;
+          int32_t Phys = A.ColorOf[O.Reg];
+          unsigned FileSize = A.Machine.numRegs(F.regClass(O.Reg));
+          if (Phys < 0)
+            error(B, I, "%" + F.vreg(O.Reg).Name +
+                            " has no physical register");
+          else if (unsigned(Phys) >= FileSize)
+            error(B, I, "%" + F.vreg(O.Reg).Name + " assigned " +
+                            regClassName(F.regClass(O.Reg)) + " r" +
+                            std::to_string(Phys) + " outside the " +
+                            std::to_string(FileSize) + "-register file");
+        }
+      }
+    }
+  }
+
+  /// Backward live-variable fixpoint, written out longhand so the audit
+  /// shares no code with analysis/Liveness.
+  void computeLiveness() {
+    unsigned NB = F.numBlocks(), NR = F.numVRegs();
+    std::vector<BitVector> Use(NB, BitVector(NR)), Def(NB, BitVector(NR));
+    LiveOut.assign(NB, BitVector(NR));
+    std::vector<BitVector> LiveIn(NB, BitVector(NR));
+    std::vector<std::vector<uint32_t>> Preds(NB);
+
+    for (const BasicBlock &B : F.blocks()) {
+      B.terminator().forEachBlockTarget(
+          [&](uint32_t S) { Preds[S].push_back(B.Id); });
+      for (const Instruction &I : B.Insts) {
+        I.forEachUse([&](VRegId R) {
+          if (!Def[B.Id].test(R))
+            Use[B.Id].set(R);
+        });
+        if (I.hasDef())
+          Def[B.Id].set(I.defReg());
+      }
+    }
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned BId = NB; BId-- > 0;) {
+        BitVector Out(NR);
+        F.block(BId).terminator().forEachBlockTarget(
+            [&](uint32_t S) { Out.unionWith(LiveIn[S]); });
+        BitVector In = Out;
+        In.subtract(Def[BId]);
+        In.unionWith(Use[BId]);
+        if (!(Out == LiveOut[BId]) || !(In == LiveIn[BId])) {
+          LiveOut[BId] = std::move(Out);
+          LiveIn[BId] = std::move(In);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  /// At every definition point, the defined register must not share its
+  /// physical register with any other live range live just after the
+  /// instruction (same class). Exception: a Copy's target may share with
+  /// its source — both hold the same value at that point, so later reads
+  /// of either are still correct.
+  void checkRegisterConflicts() {
+    for (const BasicBlock &B : F.blocks()) {
+      BitVector Live = LiveOut[B.Id];
+      for (unsigned Idx = B.Insts.size(); Idx-- > 0;) {
+        const Instruction &I = B.Insts[Idx];
+        // Live currently holds the set live immediately after I.
+        if (I.hasDef()) {
+          VRegId D = I.defReg();
+          RegClass DC = F.regClass(D);
+          int32_t DPhys = A.ColorOf[D];
+          VRegId CopySrc =
+              I.isCopy() && I.Ops[1].isReg() ? I.Ops[1].Reg : InvalidVReg;
+          Live.forEachSetBit([&](unsigned V) {
+            if (V == D || V == CopySrc)
+              return;
+            if (F.regClass(V) == DC && A.ColorOf[V] == DPhys)
+              error(B, I,
+                    std::string(regClassName(DC)) + " r" +
+                        std::to_string(DPhys) + " is clobbered: %" +
+                        F.vreg(D).Name + " is defined while %" +
+                        F.vreg(V).Name + " is live in the same register");
+          });
+          Live.reset(D);
+        }
+        I.forEachUse([&](VRegId R) { Live.set(R); });
+      }
+    }
+  }
+
+  /// Spill traffic: slot operands in range and of the right class, and a
+  /// forward definite-assignment dataflow proving every spill load is
+  /// reached by a store to its slot on all paths ("never reload garbage").
+  void checkSpillSlots() {
+    unsigned NB = F.numBlocks(), NS = F.numSpillSlots();
+
+    for (const BasicBlock &B : F.blocks()) {
+      for (const Instruction &I : B.Insts) {
+        if (I.Op != Opcode::SpillLd && I.Op != Opcode::SpillSt)
+          continue;
+        int64_t Slot = I.Ops[1].Imm;
+        if (Slot < 0 || uint64_t(Slot) >= NS) {
+          error(B, I, "spill slot out of range");
+          return; // slot dataflow below would index out of range
+        }
+        if (F.spillSlotClass(unsigned(Slot)) != F.regClass(I.Ops[0].Reg))
+          error(B, I, "spill slot class mismatch");
+      }
+    }
+    if (NS == 0)
+      return;
+
+    // StoredOut[b]: slots stored on every path from entry through b.
+    std::vector<BitVector> StoredOut(NB, BitVector(NS));
+    std::vector<bool> Reached(NB, false);
+    std::vector<std::vector<uint32_t>> Preds(NB);
+    for (const BasicBlock &B : F.blocks())
+      B.terminator().forEachBlockTarget(
+          [&](uint32_t S) { Preds[S].push_back(B.Id); });
+    for (BitVector &BV : StoredOut)
+      BV.setAll(); // top element for the intersection
+
+    std::deque<uint32_t> Work{F.entry()};
+    std::vector<bool> InWork(NB, false);
+    InWork[F.entry()] = true;
+    while (!Work.empty()) {
+      uint32_t BId = Work.front();
+      Work.pop_front();
+      InWork[BId] = false;
+      bool FirstVisit = !Reached[BId];
+      Reached[BId] = true;
+
+      BitVector In = blockInSet(BId, Preds, StoredOut, Reached, NS);
+      for (const Instruction &I : F.block(BId).Insts)
+        if (I.Op == Opcode::SpillSt)
+          In.set(unsigned(I.Ops[1].Imm));
+      if (FirstVisit || !(In == StoredOut[BId])) {
+        StoredOut[BId] = std::move(In);
+        F.block(BId).terminator().forEachBlockTarget([&](uint32_t S) {
+          if (!InWork[S]) {
+            InWork[S] = true;
+            Work.push_back(S);
+          }
+        });
+      }
+    }
+
+    for (const BasicBlock &B : F.blocks()) {
+      if (!Reached[B.Id])
+        continue;
+      BitVector Stored = blockInSet(B.Id, Preds, StoredOut, Reached, NS);
+      for (const Instruction &I : B.Insts) {
+        if (I.Op == Opcode::SpillLd &&
+            !Stored.test(unsigned(I.Ops[1].Imm)))
+          error(B, I, "spill load from slot " +
+                          std::to_string(I.Ops[1].Imm) +
+                          " that is not stored on every path");
+        else if (I.Op == Opcode::SpillSt)
+          Stored.set(unsigned(I.Ops[1].Imm));
+      }
+    }
+  }
+
+  /// Intersection of StoredOut over reached predecessors (empty set for
+  /// the entry block).
+  BitVector blockInSet(uint32_t BId,
+                       const std::vector<std::vector<uint32_t>> &Preds,
+                       const std::vector<BitVector> &StoredOut,
+                       const std::vector<bool> &Reached, unsigned NS) {
+    BitVector In(NS);
+    if (BId == F.entry())
+      return In;
+    bool First = true;
+    for (uint32_t P : Preds[BId]) {
+      if (!Reached[P])
+        continue;
+      if (First) {
+        In = StoredOut[P];
+        First = false;
+      } else {
+        In.intersectWith(StoredOut[P]);
+      }
+    }
+    return In;
+  }
+
+  const Function &F;
+  const AllocationResult &A;
+  std::vector<BitVector> LiveOut;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+std::vector<std::string> ra::auditAllocation(const Function &F,
+                                             const AllocationResult &A) {
+  return Auditor(F, A).run();
+}
+
+Status ra::auditAllocationStatus(const Function &F,
+                                 const AllocationResult &A) {
+  std::vector<std::string> Errors = auditAllocation(F, A);
+  if (Errors.empty())
+    return Status();
+  constexpr unsigned MaxShown = 3;
+  std::string Msg;
+  for (unsigned I = 0; I < Errors.size() && I < MaxShown; ++I)
+    Msg += (I ? "; " : "") + Errors[I];
+  if (Errors.size() > MaxShown)
+    Msg += "; ... (" + std::to_string(Errors.size()) + " audit errors total)";
+  return Status::error(StatusCode::AuditFailure, std::move(Msg));
+}

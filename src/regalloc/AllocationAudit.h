@@ -1,0 +1,52 @@
+//===- regalloc/AllocationAudit.h - Post-allocation verifier ---*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent verifier for finished allocations. It re-derives
+/// liveness from the rewritten function with its own dataflow solver and
+/// proves, without consulting the allocator's interference graph:
+///
+///  * every register operand has a physical register, valid for its
+///    class and inside the configured file;
+///  * at every definition point, the defined register's physical
+///    register is not held by any other simultaneously-live range of
+///    the same class (modulo Chaitin's copy exception: a copy may share
+///    its source's register, since both hold the same value there);
+///  * spill loads/stores are well-formed: slot operands are in-range
+///    immediates of the matching class, and every spill load is
+///    preceded by a store to its slot on all paths from the entry.
+///
+/// Because the checks are recomputed from scratch, a bug anywhere in
+/// build/coalesce/simplify/select surfaces here instead of being
+/// inherited — which is what lets the allocator fall back to
+/// spill-everything and report Degraded rather than emit wrong code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_REGALLOC_ALLOCATIONAUDIT_H
+#define RA_REGALLOC_ALLOCATIONAUDIT_H
+
+#include "regalloc/Allocator.h"
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace ra {
+
+/// Audits \p A as an allocation of the (rewritten) function \p F.
+/// Returns every broken invariant as a human-readable message; an empty
+/// vector means the allocation is provably consistent.
+std::vector<std::string> auditAllocation(const Function &F,
+                                         const AllocationResult &A);
+
+/// Convenience wrapper: Ok, or an AuditFailure status carrying the first
+/// few audit messages (and the total count when truncated).
+Status auditAllocationStatus(const Function &F, const AllocationResult &A);
+
+} // namespace ra
+
+#endif // RA_REGALLOC_ALLOCATIONAUDIT_H

@@ -3,21 +3,53 @@
 // Part of briggs-regalloc. SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
+//
+// The paper's Figure 4 cycle, wrapped in a self-checking pipeline:
+// structurally invalid input is rejected with a diagnostic instead of
+// tripping asserts, and (with Audit on) every finished allocation is
+// re-proved by the independent AllocationAudit. When the primary
+// allocation fails its audit or never converges, the driver degrades to
+// a guaranteed-terminating spill-everything allocation — every live
+// range lives in memory, so the residual graph only holds
+// single-instruction temporaries and colors in one more pass.
+//
+//===----------------------------------------------------------------------===//
 
 #include "regalloc/Allocator.h"
 
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/Renumber.h"
+#include "regalloc/AllocationAudit.h"
 #include "regalloc/BuildGraph.h"
 #include "regalloc/Coalesce.h"
 #include "regalloc/SpillCost.h"
 #include "support/Timer.h"
 
 #include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
 #include <thread>
 
 using namespace ra;
+
+bool ra::auditEnabledByEnv() {
+  static const bool Enabled = [] {
+    const char *V = std::getenv("RA_AUDIT");
+    return V && *V && std::string_view(V) != "0";
+  }();
+  return Enabled;
+}
+
+const char *ra::allocOutcomeName(AllocOutcome O) {
+  switch (O) {
+  case AllocOutcome::Converged: return "converged";
+  case AllocOutcome::Degraded:  return "degraded";
+  case AllocOutcome::Failed:    return "failed";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -25,19 +57,78 @@ namespace {
 /// spawning a thread costs more than simplifying a small graph.
 constexpr unsigned ParallelClassThreshold = 256;
 
-} // namespace
+/// Cheap structural validity: the conditions CFG/liveness construction
+/// would otherwise assert on. Anything caught here is a recoverable
+/// InvalidInput, not a crash.
+Status validateForAllocation(const Function &F) {
+  if (F.numBlocks() == 0)
+    return Status::error(StatusCode::InvalidInput, "function has no blocks");
+  for (const BasicBlock &B : F.blocks()) {
+    if (B.Insts.empty())
+      return Status::error(StatusCode::InvalidInput,
+                           "block " + B.Name + " is empty");
+    for (unsigned Idx = 0, E = B.Insts.size(); Idx != E; ++Idx) {
+      const Instruction &I = B.Insts[Idx];
+      if (I.isTerminator() != (Idx + 1 == E))
+        return Status::error(StatusCode::InvalidInput,
+                             Idx + 1 == E
+                                 ? "block " + B.Name +
+                                       " does not end in a terminator"
+                                 : "terminator in the middle of block " +
+                                       B.Name);
+      for (const Operand &O : I.Ops) {
+        if (O.isReg() && O.Reg >= F.numVRegs())
+          return Status::error(StatusCode::InvalidInput,
+                               "register id out of range in " + B.Name);
+        if (O.isBlock() && O.Block >= F.numBlocks())
+          return Status::error(StatusCode::InvalidInput,
+                               "branch to out-of-range block in " + B.Name);
+      }
+      if (I.hasDef() && (I.Ops.empty() || !I.Ops[0].isReg()))
+        return Status::error(StatusCode::InvalidInput,
+                             "malformed definition in " + B.Name);
+    }
+  }
+  return Status();
+}
 
-AllocationResult ra::allocateRegisters(Function &F,
-                                       const AllocatorConfig &C) {
+/// Copies a color across the first interference edge whose endpoints are
+/// both colored (or, when the graphs have no such edge, pushes one
+/// assignment outside the register file). The audit must catch either.
+void injectMiscoloring(const std::array<ClassGraph, NumRegClasses> &Graphs,
+                       const std::array<ColoringResult, NumRegClasses> &Cols,
+                       const MachineInfo &Machine, AllocationResult &Result) {
+  for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls) {
+    const ClassGraph &CG = Graphs[Cls];
+    for (uint32_t N = 0; N < CG.Graph.numNodes(); ++N) {
+      if (Cols[Cls].ColorOf[N] < 0)
+        continue;
+      for (uint32_t M : CG.Graph.neighbors(N)) {
+        if (Cols[Cls].ColorOf[M] < 0)
+          continue;
+        Result.ColorOf[CG.NodeToVReg[N]] = Cols[Cls].ColorOf[M];
+        return;
+      }
+    }
+  }
+  for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls) {
+    const ClassGraph &CG = Graphs[Cls];
+    if (CG.Graph.numNodes() != 0) {
+      Result.ColorOf[CG.NodeToVReg[0]] =
+          int32_t(Machine.numRegs(CG.Class));
+      return;
+    }
+  }
+}
+
+/// The Figure 4 loop: renumber -> [build -> coalesce -> costs ->
+/// simplify -> select -> spill]* until no pass spills. Sets Success and
+/// a NonConvergence diagnostic, but performs no auditing or fallback —
+/// allocateRegisters layers those on top.
+AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
+                                   const CFG &G, const LoopInfo &Loops) {
   AllocationResult Result;
   Result.Machine = C.Machine;
-
-  // The CFG shape never changes below: coalescing deletes only copies,
-  // spilling inserts only non-terminators, renumbering touches only
-  // operands. Compute flow structure once.
-  CFG G = CFG::compute(F);
-  Dominators Doms = Dominators::compute(F, G);
-  LoopInfo Loops = LoopInfo::compute(F, G, Doms);
 
   for (unsigned Pass = 0; Pass < C.MaxPasses; ++Pass) {
     PassRecord Rec;
@@ -115,8 +206,11 @@ AllocationResult ra::allocateRegisters(Function &F,
           Result.ColorOf[CG.NodeToVReg[Node]] =
               Colorings[Cls].ColorOf[Node];
       }
+      if (C.FaultInject.Miscolor)
+        injectMiscoloring(Graphs, Colorings, C.Machine, Result);
       Result.Stats.Passes.push_back(std::move(Rec));
       Result.Success = true;
+      Result.Outcome = AllocOutcome::Converged;
       return Result;
     }
 
@@ -134,8 +228,104 @@ AllocationResult ra::allocateRegisters(Function &F,
     Result.Stats.Passes.push_back(std::move(Rec));
   }
 
-  // Never observed in practice (the paper reports at most three
-  // passes); callers treat this as an allocation failure.
+  // Never observed in practice (the paper reports at most three passes);
+  // allocateRegisters degrades to spill-everything from here.
   Result.Success = false;
+  Result.Outcome = AllocOutcome::Failed;
+  Result.Diag = Status::error(StatusCode::NonConvergence,
+                              "no coloring after " +
+                                  std::to_string(C.MaxPasses) + " passes");
+  return Result;
+}
+
+/// The bottom rung of the degradation ladder: spill every live range to
+/// memory, then color the residue. After spilling, every remaining live
+/// range is a single-instruction temporary, so at most a handful are
+/// ever simultaneously live and the loop converges immediately for any
+/// realistic file size.
+AllocationResult spillEverything(Function &F, const AllocatorConfig &C,
+                                 const CFG &G, const LoopInfo &Loops) {
+  renumberLiveRanges(F, G);
+  std::vector<VRegId> All(F.numVRegs());
+  for (VRegId R = 0; R < F.numVRegs(); ++R)
+    All[R] = R;
+  insertSpillCode(F, All, /*Rematerialize=*/false);
+
+  AllocatorConfig FallbackC = C;
+  FallbackC.Coalesce = false; // no copies worth merging among temporaries
+  FallbackC.FaultInject = {}; // the fallback must stay unbroken
+  FallbackC.MaxPasses = 8;
+  return runColoringPasses(F, FallbackC, G, Loops);
+}
+
+} // namespace
+
+AllocationResult ra::allocateRegisters(Function &F,
+                                       const AllocatorConfig &C) {
+  if (!C.FaultInject.ThrowInFunction.empty() &&
+      F.name() == C.FaultInject.ThrowInFunction)
+    throw std::runtime_error("fault injection: worker throw in @" +
+                             F.name());
+
+  AllocationResult Result;
+  Result.Machine = C.Machine;
+  if (Status S = validateForAllocation(F); !S.ok()) {
+    Result.Diag = std::move(S.addContext("@" + F.name()));
+    return Result; // Failed: cannot even build a CFG safely.
+  }
+
+  // The CFG shape never changes below: coalescing deletes only copies,
+  // spilling inserts only non-terminators, renumbering touches only
+  // operands. Compute flow structure once.
+  CFG G = CFG::compute(F);
+  Dominators Doms = Dominators::compute(F, G);
+  LoopInfo Loops = LoopInfo::compute(F, G, Doms);
+
+  if (C.FaultInject.NonConvergence) {
+    Result.Success = false;
+    Result.Outcome = AllocOutcome::Failed;
+    Result.Diag = Status::error(StatusCode::NonConvergence,
+                                "fault injection: forced non-convergence");
+  } else {
+    Result = runColoringPasses(F, C, G, Loops);
+  }
+
+  if (Result.Success) {
+    if (!C.Audit)
+      return Result;
+    Status AuditS = auditAllocationStatus(F, Result);
+    if (AuditS.ok())
+      return Result;
+    Result.Success = false;
+    Result.Outcome = AllocOutcome::Failed;
+    Result.Diag = std::move(AuditS);
+  }
+
+  // Degradation ladder: primary allocation is unusable — spill every
+  // live range and re-color. The fallback is always audited, whatever
+  // C.Audit says: degraded code must never be wrong code.
+  Status Why = Result.Diag;
+  AllocationResult Fallback = spillEverything(F, C, G, Loops);
+  if (Fallback.Success) {
+    Status FallbackAudit = auditAllocationStatus(F, Fallback);
+    if (!FallbackAudit.ok()) {
+      Fallback.Success = false;
+      Fallback.Outcome = AllocOutcome::Failed;
+      Fallback.Diag = std::move(FallbackAudit);
+    }
+  }
+  if (Fallback.Success) {
+    Fallback.Outcome = AllocOutcome::Degraded;
+    Fallback.Diag =
+        std::move(Why.addContext("degraded to spill-everything for @" +
+                                 F.name()));
+    return Fallback;
+  }
+
+  Result.Success = false;
+  Result.Outcome = AllocOutcome::Failed;
+  Result.Diag = std::move(Fallback.Diag.addContext(
+      "spill-everything fallback also failed for @" + F.name() +
+      " (primary failure: " + Why.toString() + ")"));
   return Result;
 }

@@ -24,6 +24,7 @@
 #include "regalloc/Coalesce.h"
 #include "regalloc/Coloring.h"
 #include "regalloc/SpillInserter.h"
+#include "support/Status.h"
 #include "target/CostModel.h"
 #include "target/MachineInfo.h"
 
@@ -31,6 +32,28 @@
 #include <vector>
 
 namespace ra {
+
+/// True when the RA_AUDIT environment variable requests audits (set and
+/// neither empty nor "0"). Used as the default for AllocatorConfig::Audit
+/// so CI can run whole existing suites with auditing forced on.
+bool auditEnabledByEnv();
+
+/// Test-only fault injection: deliberately break the allocator so the
+/// audit + spill-everything degradation path is provably exercised.
+struct FaultInjectOptions {
+  /// After a successful coloring, corrupt one assignment (copy a color
+  /// across an interference edge, or push it out of the register file).
+  bool Miscolor = false;
+  /// Report MaxPasses exhaustion without running any pass.
+  bool NonConvergence = false;
+  /// Throw std::runtime_error from allocateRegisters for functions with
+  /// this exact name (exercises worker-exception propagation).
+  std::string ThrowInFunction;
+
+  bool any() const {
+    return Miscolor || NonConvergence || !ThrowInFunction.empty();
+  }
+};
 
 /// Tuning knobs for one allocation run.
 struct AllocatorConfig {
@@ -57,6 +80,14 @@ struct AllocatorConfig {
   /// both are large enough to pay for a thread. Never changes results:
   /// the two class graphs share no state.
   bool ParallelClasses = true;
+  /// Run the independent post-allocation audit (AllocationAudit.h) on
+  /// every allocation. An audit failure triggers the spill-everything
+  /// fallback and a Degraded outcome instead of returning wrong code.
+  /// Defaults to off unless the RA_AUDIT environment variable turns it
+  /// on process-wide.
+  bool Audit = auditEnabledByEnv();
+  /// Deliberate breakage for tests; see FaultInjectOptions.
+  FaultInjectOptions FaultInject;
 };
 
 /// Phase timings and spill decisions of one Build-Simplify-Color pass.
@@ -112,10 +143,26 @@ struct AllocationStats {
   }
 };
 
+/// How an allocation concluded — the degradation ladder's rungs.
+enum class AllocOutcome : uint8_t {
+  Converged, ///< Build-Simplify-Color converged; audit (if run) passed.
+  Degraded,  ///< Primary allocation failed its audit or never converged;
+             ///< the guaranteed-terminating spill-everything fallback
+             ///< produced the (audited) allocation instead.
+  Failed,    ///< No usable allocation; Diag explains why.
+};
+
+/// Printable outcome name ("converged", "degraded", "failed").
+const char *allocOutcomeName(AllocOutcome O);
+
 /// Outcome of \c allocateRegisters. The function itself is rewritten in
 /// place (renumbered, coalesced, spill code inserted).
 struct AllocationResult {
-  bool Success = false;        ///< Converged within MaxPasses.
+  bool Success = false;        ///< Usable allocation (Converged or Degraded).
+  AllocOutcome Outcome = AllocOutcome::Failed;
+  /// Ok when Converged; for Degraded, why the primary allocation was
+  /// rejected; for Failed, why no allocation could be produced.
+  Status Diag;
   AllocationStats Stats;
   /// Physical register index per final vreg, within its class's file.
   std::vector<int32_t> ColorOf;
@@ -129,6 +176,13 @@ struct AllocationResult {
 };
 
 /// Allocates registers for \p F (mutating it) with configuration \p C.
+///
+/// Never aborts on recoverable conditions: structurally malformed input
+/// returns a Failed result with an InvalidInput status, and when
+/// \c C.Audit is set, a miscoloring or MaxPasses exhaustion degrades to
+/// the audited spill-everything fallback (Outcome == Degraded) rather
+/// than failing. Only \c FaultInjectOptions::ThrowInFunction ever makes
+/// this function throw.
 AllocationResult allocateRegisters(Function &F, const AllocatorConfig &C);
 
 class Module;
@@ -148,6 +202,14 @@ struct ModuleAllocationResult {
         return false;
     return true;
   }
+
+  /// Functions that fell back to spill-everything.
+  unsigned numDegraded() const {
+    unsigned N = 0;
+    for (const AllocationResult &R : Functions)
+      N += R.Outcome == AllocOutcome::Degraded;
+    return N;
+  }
 };
 
 /// Allocates registers for every function in \p M (mutating them),
@@ -155,6 +217,11 @@ struct ModuleAllocationResult {
 /// independent allocation units, so the result — rewritten functions,
 /// colors, spill decisions — is bit-identical to running
 /// \c allocateRegisters serially in function order.
+///
+/// A worker that throws fails only that function's AllocationResult
+/// (Outcome == Failed, WorkerError status); the exception propagates
+/// through the future and is converted here, so one bad function never
+/// crashes or hangs the whole module.
 ModuleAllocationResult allocateModule(Module &M, const AllocatorConfig &C);
 
 } // namespace ra

@@ -24,6 +24,35 @@
 
 using namespace ra;
 
+namespace {
+
+/// Converts a worker exception into a Failed result for just that
+/// function. std::packaged_task stores anything the task throws in its
+/// future, so \c Get rethrows here on the collecting thread — one
+/// throwing function must not crash or hang the whole module.
+template <typename GetT>
+AllocationResult collectOne(const Function &F, const AllocatorConfig &C,
+                            GetT Get) {
+  try {
+    return Get();
+  } catch (const std::exception &E) {
+    AllocationResult R;
+    R.Machine = C.Machine;
+    R.Diag = Status::error(StatusCode::WorkerError, E.what())
+                 .addContext("allocating @" + F.name());
+    return R;
+  } catch (...) {
+    AllocationResult R;
+    R.Machine = C.Machine;
+    R.Diag = Status::error(StatusCode::WorkerError,
+                           "worker threw a non-standard exception")
+                 .addContext("allocating @" + F.name());
+    return R;
+  }
+}
+
+} // namespace
+
 ModuleAllocationResult ra::allocateModule(Module &M,
                                           const AllocatorConfig &C) {
   ModuleAllocationResult Result;
@@ -33,8 +62,11 @@ ModuleAllocationResult ra::allocateModule(Module &M,
 
   unsigned Jobs = ThreadPool::resolveJobs(C.Jobs);
   if (Jobs <= 1 || M.numFunctions() <= 1) {
-    for (unsigned I = 0; I < M.numFunctions(); ++I)
-      Result.Functions[I] = allocateRegisters(M.function(I), C);
+    for (unsigned I = 0; I < M.numFunctions(); ++I) {
+      Function &F = M.function(I);
+      Result.Functions[I] =
+          collectOne(F, C, [&] { return allocateRegisters(F, C); });
+    }
   } else {
     ThreadPool Pool(Jobs);
     std::vector<std::future<AllocationResult>> Pending;
@@ -46,7 +78,8 @@ ModuleAllocationResult ra::allocateModule(Module &M,
       }));
     }
     for (unsigned I = 0; I < M.numFunctions(); ++I)
-      Result.Functions[I] = Pending[I].get();
+      Result.Functions[I] =
+          collectOne(M.function(I), C, [&] { return Pending[I].get(); });
   }
 
   Wall.stop();

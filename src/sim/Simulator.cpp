@@ -6,6 +6,8 @@
 
 #include "sim/Simulator.h"
 
+#include <cstring>
+
 #include <cassert>
 #include <cmath>
 

@@ -27,6 +27,8 @@
 #include "regalloc/Allocator.h"
 #include "target/CostModel.h"
 
+#include <cmath>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -43,9 +45,36 @@ public:
   const std::vector<int64_t> &intArray(uint32_t Id) const;
   const std::vector<double> &floatArray(uint32_t Id) const;
 
-  /// Exact (bitwise) equality of all array contents.
+  /// Semantic equality of all array contents: floats compare by bit
+  /// pattern — except that any NaN equals any NaN. Plain operator==
+  /// would make two runs computing the identical NaN diverge (NaN !=
+  /// NaN), while strict bitwise comparison is too strong the other way:
+  /// with two NaN operands, x*y propagates whichever one the compiler's
+  /// instruction scheduling happens to read first, so the payload/sign
+  /// of a computed NaN is not a property a differential oracle (golden
+  /// run vs allocated run) may rely on.
   bool operator==(const MemoryImage &Other) const {
-    return IntData == Other.IntData && FloatData == Other.FloatData;
+    if (IntData != Other.IntData || FloatData.size() != Other.FloatData.size())
+      return false;
+    for (size_t A = 0; A < FloatData.size(); ++A) {
+      const std::vector<double> &L = FloatData[A], &R = Other.FloatData[A];
+      if (L.size() != R.size())
+        return false;
+      for (size_t I = 0; I < L.size(); ++I)
+        if (!doubleSemanticallyEqual(L[I], R[I]))
+          return false;
+    }
+    return true;
+  }
+
+  /// Bit-equal, or both NaN (of any payload/sign).
+  static bool doubleSemanticallyEqual(double L, double R) {
+    if (std::isnan(L) || std::isnan(R))
+      return std::isnan(L) && std::isnan(R);
+    uint64_t LB, RB;
+    std::memcpy(&LB, &L, sizeof(double));
+    std::memcpy(&RB, &R, sizeof(double));
+    return LB == RB;
   }
 
 private:

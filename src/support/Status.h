@@ -1,0 +1,102 @@
+//===- support/Status.h - Structured error propagation ---------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small status type — code, message, and a chain of context frames —
+/// for recoverable failures. The allocator, the module driver and the
+/// command-line tools thread Status through their results instead of
+/// aborting, so malformed input, non-convergence or a crashed worker
+/// degrade into a diagnostic rather than taking the process down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_SUPPORT_STATUS_H
+#define RA_SUPPORT_STATUS_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ra {
+
+/// Coarse failure category. Ok must stay the zero value so a
+/// default-constructed Status means success.
+enum class StatusCode : uint8_t {
+  Ok = 0,
+  InvalidInput,   ///< Structurally malformed IR reached a pipeline stage.
+  ParseError,     ///< Textual IR did not parse.
+  VerifyError,    ///< The IR verifier rejected a module.
+  NonConvergence, ///< Build-Simplify-Color exhausted MaxPasses.
+  AuditFailure,   ///< The post-allocation audit found a broken invariant.
+  WorkerError,    ///< A pool worker threw while allocating a function.
+  IoError,        ///< File could not be read or written.
+};
+
+/// Printable name of a status code ("audit-failure", ...).
+inline const char *statusCodeName(StatusCode C) {
+  switch (C) {
+  case StatusCode::Ok:             return "ok";
+  case StatusCode::InvalidInput:   return "invalid-input";
+  case StatusCode::ParseError:     return "parse-error";
+  case StatusCode::VerifyError:    return "verify-error";
+  case StatusCode::NonConvergence: return "non-convergence";
+  case StatusCode::AuditFailure:   return "audit-failure";
+  case StatusCode::WorkerError:    return "worker-error";
+  case StatusCode::IoError:        return "io-error";
+  }
+  return "unknown";
+}
+
+/// Success-or-diagnostic. A failed Status carries the innermost message
+/// plus the context frames pushed while it propagated outward, so the
+/// final rendering reads outermost-first, e.g.
+///
+///   audit-failure: @dgefa: pass 2: int registers r3 assigned to two
+///   simultaneously-live ranges
+class Status {
+public:
+  Status() = default; ///< Ok. (There is no factory; `Status()` is Ok.)
+
+  static Status error(StatusCode C, std::string Message) {
+    Status S;
+    S.Code = C;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return Code == StatusCode::Ok; }
+  StatusCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  /// Pushes one context frame (innermost call sites push first; frames
+  /// render outermost-first). No-op on an Ok status, so callers can
+  /// unconditionally annotate results on the way out.
+  Status &addContext(std::string Frame) {
+    if (!ok())
+      Context.push_back(std::move(Frame));
+    return *this;
+  }
+
+  /// "code: outer: inner: message" — or "ok" for a success.
+  std::string toString() const {
+    std::string Out = statusCodeName(Code);
+    if (ok())
+      return Out;
+    for (auto It = Context.rbegin(); It != Context.rend(); ++It)
+      Out += ": " + *It;
+    Out += ": " + Message;
+    return Out;
+  }
+
+private:
+  StatusCode Code = StatusCode::Ok;
+  std::string Message;
+  std::vector<std::string> Context; ///< Innermost frame first.
+};
+
+} // namespace ra
+
+#endif // RA_SUPPORT_STATUS_H

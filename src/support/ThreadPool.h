@@ -48,7 +48,10 @@ public:
   unsigned numThreads() const { return Workers.size(); }
 
   /// Enqueues \p Fn and returns a future for its result. Tasks may run
-  /// in any order and on any worker.
+  /// in any order and on any worker. A task that throws never takes a
+  /// worker down: the exception is captured by the packaged_task and
+  /// rethrown from future::get() on the collecting thread, and the
+  /// worker moves on to the next queued task.
   template <typename FnT>
   auto submit(FnT &&Fn) -> std::future<std::invoke_result_t<FnT>> {
     using ResultT = std::invoke_result_t<FnT>;

@@ -60,6 +60,30 @@ TEST(ThreadPoolTest, ResolveJobs) {
   EXPECT_GE(ThreadPool::resolveJobs(0), 1u); // hardware, at least one
 }
 
+TEST(ThreadPoolTest, TaskExceptionReachesFutureNotWorker) {
+  ThreadPool Pool(2);
+  auto Boom = Pool.submit([]() -> int {
+    throw std::runtime_error("task exploded");
+  });
+  // The exception must surface from get() on the collecting thread...
+  EXPECT_THROW(
+      {
+        try {
+          Boom.get();
+        } catch (const std::runtime_error &E) {
+          EXPECT_STREQ(E.what(), "task exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // ...and the worker that ran it must still be alive for later tasks.
+  std::vector<std::future<int>> After;
+  for (int I = 0; I < 16; ++I)
+    After.push_back(Pool.submit([I] { return I + 1; }));
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(After[I].get(), I + 1);
+}
+
 //===--------------------------------------------------------------------===//
 // CSR adjacency layout.
 //===--------------------------------------------------------------------===//
@@ -310,6 +334,40 @@ TEST(AllocateModuleTest, ParallelClassColoringIsIdentical) {
   ASSERT_TRUE(R1.Success && R2.Success);
   EXPECT_EQ(R1.ColorOf, R2.ColorOf);
   EXPECT_EQ(printFunction(M1, F1), printFunction(M2, F2));
+}
+
+TEST(AllocateModuleTest, WorkerExceptionFailsOnlyThatFunction) {
+  // A function whose allocation throws must come back as one Failed
+  // result with a worker-error diagnostic; every other function of the
+  // module still allocates, under both the serial and the pooled path.
+  for (unsigned Jobs : {1u, 4u}) {
+    Module M;
+    buildWorkloadModule(M, 5000);
+    ASSERT_GE(M.numFunctions(), 2u);
+    const std::string Victim = M.function(1).name();
+
+    AllocatorConfig C;
+    C.Jobs = Jobs;
+    C.FaultInject.ThrowInFunction = Victim;
+    ModuleAllocationResult R = allocateModule(M, C);
+    ASSERT_EQ(R.Functions.size(), M.numFunctions());
+    EXPECT_FALSE(R.allSucceeded());
+
+    for (unsigned I = 0; I < M.numFunctions(); ++I) {
+      const AllocationResult &A = R.Functions[I];
+      if (M.function(I).name() == Victim) {
+        EXPECT_FALSE(A.Success) << "jobs=" << Jobs;
+        EXPECT_EQ(A.Outcome, AllocOutcome::Failed);
+        EXPECT_EQ(A.Diag.code(), StatusCode::WorkerError);
+        EXPECT_NE(A.Diag.toString().find(Victim), std::string::npos)
+            << A.Diag.toString();
+      } else {
+        EXPECT_TRUE(A.Success)
+            << "jobs=" << Jobs << " @" << M.function(I).name() << ": "
+            << A.Diag.toString();
+      }
+    }
+  }
 }
 
 } // namespace

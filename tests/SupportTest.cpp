@@ -6,6 +6,7 @@
 
 #include "support/BitVector.h"
 #include "support/Rng.h"
+#include "support/Status.h"
 #include "support/Table.h"
 #include "support/Timer.h"
 #include "support/TriangularBitMatrix.h"
@@ -225,6 +226,36 @@ TEST(TimerTest, AccumulatesTime) {
   EXPECT_GE(T.seconds(), First);
   T.reset();
   EXPECT_EQ(T.seconds(), 0.0);
+}
+
+TEST(StatusTest, DefaultConstructedIsOk) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::Ok);
+  EXPECT_EQ(S.toString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status S = Status::error(StatusCode::NonConvergence, "no coloring");
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::NonConvergence);
+  EXPECT_EQ(S.message(), "no coloring");
+  EXPECT_EQ(S.toString(), "non-convergence: no coloring");
+}
+
+TEST(StatusTest, ContextRendersOutermostFirst) {
+  // Innermost call sites push first; the rendering walks back out.
+  Status S = Status::error(StatusCode::AuditFailure, "r3 double-booked");
+  S.addContext("pass 2");
+  S.addContext("@dgefa");
+  EXPECT_EQ(S.toString(), "audit-failure: @dgefa: pass 2: r3 double-booked");
+}
+
+TEST(StatusTest, AddContextIsNoOpOnOk) {
+  Status S;
+  S.addContext("should vanish");
+  EXPECT_TRUE(S.ok());
+  EXPECT_EQ(S.toString(), "ok");
 }
 
 } // namespace

@@ -291,7 +291,7 @@ TEST(WorkloadFunctional, MatgenMatchesTheLinpackGenerator) {
     }
 }
 
-TEST(AllocatorNegative, PassBudgetExhaustionReportsFailure) {
+TEST(AllocatorNegative, PassBudgetExhaustionDegradesToSpillEverything) {
   Module M;
   Function &F = buildDMXPY(M); // needs multiple passes at RT/PC sizes
   optimizeFunction(F);
@@ -299,8 +299,12 @@ TEST(AllocatorNegative, PassBudgetExhaustionReportsFailure) {
   C.H = Heuristic::Chaitin;
   C.MaxPasses = 1;
   AllocationResult A = allocateRegisters(F, C);
-  EXPECT_FALSE(A.Success)
-      << "one pass cannot be enough for a routine that spills";
+  // One pass cannot be enough for a routine that spills, so the primary
+  // loop exhausts its budget; the allocator must then recover through the
+  // spill-everything fallback and say so rather than report a clean run.
+  ASSERT_TRUE(A.Success) << A.Diag.toString();
+  EXPECT_EQ(A.Outcome, AllocOutcome::Degraded);
+  EXPECT_EQ(A.Diag.code(), StatusCode::NonConvergence);
 }
 
 } // namespace

@@ -6,7 +6,7 @@
 //
 // Command-line driver over the textual IR:
 //
-//   rac FILE.ral [options]
+//   rac FILE.ral... [options]
 //
 //   --heuristic chaitin|briggs|matula-beck   coloring policy (briggs)
 //   --int K / --flt K    register file sizes (16 / 8)
@@ -15,12 +15,16 @@
 //                        bit-identical at any setting)
 //   --no-opt             skip LICM/strength reduction/value numbering
 //   --remat              rematerialize constant spills
+//   --audit / --no-audit run the post-allocation audit (default on)
 //   --print              print the allocated function(s)
 //   --run                execute each function on zero-filled memory
 //   --quiet              suppress the statistics table
 //   --bench-json FILE    merge allocation telemetry into FILE
 //
-// Exit status: 0 on success, 1 on parse/verify/allocation errors.
+// Every input file is processed even after an earlier one fails, so a
+// batch run reports one structured diagnostic per broken input instead
+// of dying at the first. Exit status: 0 only when every file parsed,
+// verified and allocated; 1 otherwise.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,12 +35,14 @@
 #include "opt/Optimizer.h"
 #include "regalloc/Allocator.h"
 #include "sim/Simulator.h"
+#include "support/Status.h"
 #include "support/Table.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 using namespace ra;
 
@@ -45,114 +51,83 @@ namespace {
 void usage(const char *Prog) {
   std::fprintf(
       stderr,
-      "usage: %s FILE.ral [--heuristic chaitin|briggs|matula-beck]\n"
+      "usage: %s FILE.ral... [--heuristic chaitin|briggs|matula-beck]\n"
       "       [--int K] [--flt K] [--jobs N] [--no-opt] [--remat]\n"
-      "       [--print] [--run] [--quiet] [--bench-json FILE]\n",
+      "       [--audit] [--no-audit] [--print] [--run] [--quiet]\n"
+      "       [--bench-json FILE]\n",
       Prog);
 }
 
-} // namespace
+/// Prints a failure as "rac: <file>: <status rendering>".
+void report(const std::string &Path, const Status &S) {
+  std::fprintf(stderr, "rac: %s: %s\n", Path.c_str(), S.toString().c_str());
+}
 
-int main(int Argc, char **Argv) {
-  std::string Path;
-  std::string JsonPath = BenchJson::consumeFlag(Argc, Argv);
+struct Options {
   Heuristic H = Heuristic::Briggs;
   unsigned IntK = 16, FltK = 8, Jobs = 1;
-  bool Optimize = true, Remat = false, Print = false, Run = false;
-  bool Quiet = false;
+  bool Optimize = true, Remat = false, Audit = true;
+  bool Print = false, Run = false, Quiet = false;
+};
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--heuristic" && I + 1 < Argc) {
-      std::string Name = Argv[++I];
-      if (Name == "chaitin")
-        H = Heuristic::Chaitin;
-      else if (Name == "briggs")
-        H = Heuristic::Briggs;
-      else if (Name == "matula-beck")
-        H = Heuristic::MatulaBeck;
-      else {
-        std::fprintf(stderr, "unknown heuristic '%s'\n", Name.c_str());
-        return 1;
-      }
-    } else if (Arg == "--int" && I + 1 < Argc) {
-      IntK = unsigned(std::atoi(Argv[++I]));
-    } else if (Arg == "--flt" && I + 1 < Argc) {
-      FltK = unsigned(std::atoi(Argv[++I]));
-    } else if (Arg == "--jobs" && I + 1 < Argc) {
-      Jobs = unsigned(std::atoi(Argv[++I]));
-    } else if (Arg == "--no-opt") {
-      Optimize = false;
-    } else if (Arg == "--remat") {
-      Remat = true;
-    } else if (Arg == "--print") {
-      Print = true;
-    } else if (Arg == "--run") {
-      Run = true;
-    } else if (Arg == "--quiet") {
-      Quiet = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      usage(Argv[0]);
-      return 0;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      usage(Argv[0]);
-      return 1;
-    } else {
-      Path = Arg;
-    }
-  }
-  if (Path.empty()) {
-    usage(Argv[0]);
-    return 1;
-  }
+/// Aggregated telemetry across all input files for --bench-json.
+struct Telemetry {
+  double Build = 0, Simplify = 0, Select = 0, Spill = 0, Wall = 0;
+  uint64_t Graphs = 0, Functions = 0;
+};
 
+/// Processes one input file end to end. Returns Ok only when the file
+/// parsed, verified, and every function allocated (Degraded counts as
+/// usable but is reported on stderr).
+Status processFile(const std::string &Path, const Options &Opt,
+                   Telemetry &T) {
   std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
-    return 1;
-  }
+  if (!In)
+    return Status::error(StatusCode::IoError, "cannot open file");
   std::stringstream Buffer;
   Buffer << In.rdbuf();
 
   Module M;
   std::string Error;
-  if (!parseModule(Buffer.str(), M, Error)) {
-    std::fprintf(stderr, "%s: parse error: %s\n", Path.c_str(),
-                 Error.c_str());
-    return 1;
-  }
+  if (!parseModule(Buffer.str(), M, Error))
+    return Status::error(StatusCode::ParseError, Error);
+
   auto Errors = verifyModule(M);
   if (!Errors.empty()) {
-    for (const std::string &E : Errors)
-      std::fprintf(stderr, "%s: verifier: %s\n", Path.c_str(), E.c_str());
-    return 1;
+    Status S = Status::error(StatusCode::VerifyError, Errors.front());
+    if (Errors.size() > 1)
+      S.addContext(std::to_string(Errors.size()) + " verifier errors, first");
+    return S;
   }
 
-  Table Stats({"Function", "Live Ranges", "Interferences", "Passes",
-               "Spilled", "Spill Cost", "Remats", "Object (B)"});
-  bool Failed = false;
-
-  if (Optimize)
+  if (Opt.Optimize)
     for (unsigned FI = 0; FI < M.numFunctions(); ++FI)
       optimizeFunction(M.function(FI));
 
   AllocatorConfig C;
-  C.H = H;
-  C.Machine = MachineInfo(IntK, FltK);
-  C.Rematerialize = Remat;
-  C.Jobs = Jobs;
+  C.H = Opt.H;
+  C.Machine = MachineInfo(Opt.IntK, Opt.FltK);
+  C.Rematerialize = Opt.Remat;
+  C.Jobs = Opt.Jobs;
+  C.Audit = Opt.Audit;
   ModuleAllocationResult MA = allocateModule(M, C);
+
+  Table Stats({"Function", "Live Ranges", "Interferences", "Passes",
+               "Spilled", "Spill Cost", "Remats", "Object (B)"});
+  Status FileStatus;
 
   for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
     Function &F = M.function(FI);
     AllocationResult &A = MA.Functions[FI];
     if (!A.Success) {
-      std::fprintf(stderr, "@%s: allocation did not converge\n",
-                   F.name().c_str());
-      Failed = true;
+      // Remember the first failure but keep reporting the rest.
+      report(Path, A.Diag);
+      if (FileStatus.ok())
+        FileStatus = A.Diag;
       continue;
     }
+    if (A.Outcome == AllocOutcome::Degraded)
+      report(Path, A.Diag); // usable, but the user should know
 
     double Cost = 0;
     for (const PassRecord &P : A.Stats.Passes)
@@ -166,17 +141,19 @@ int main(int Argc, char **Argv) {
                   Table::withCommas(A.Stats.SpillCode.Remats),
                   Table::withCommas(F.numInstructions() * 4)});
 
-    if (Print)
+    if (Opt.Print)
       std::printf("%s", printFunction(M, F).c_str());
 
-    if (Run) {
+    if (Opt.Run) {
       Simulator Sim(M);
       MemoryImage Mem(M);
       ExecutionResult R = Sim.runAllocated(F, A, Mem);
       if (!R.Ok) {
-        std::fprintf(stderr, "@%s: trap: %s\n", F.name().c_str(),
-                     R.Error.c_str());
-        Failed = true;
+        Status Trap = Status::error(StatusCode::InvalidInput, R.Error)
+                          .addContext("trap in @" + F.name());
+        report(Path, Trap);
+        if (FileStatus.ok())
+          FileStatus = Trap;
         continue;
       }
       std::printf("@%s: %llu cycles (%llu spill)", F.name().c_str(),
@@ -190,38 +167,114 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (!Quiet) {
-    std::printf("%s heuristic, %u int / %u flt registers%s%s\n",
-                heuristicName(H), IntK, FltK,
-                Optimize ? ", optimized" : "",
-                Remat ? ", rematerialization" : "");
+  if (!Opt.Quiet) {
+    std::printf("%s: %s heuristic, %u int / %u flt registers%s%s%s\n",
+                Path.c_str(), heuristicName(Opt.H), Opt.IntK, Opt.FltK,
+                Opt.Optimize ? ", optimized" : "",
+                Opt.Remat ? ", rematerialization" : "",
+                Opt.Audit ? ", audited" : "");
     Stats.print();
+  }
+
+  for (const AllocationResult &A : MA.Functions)
+    for (const PassRecord &P : A.Stats.Passes) {
+      T.Build += P.BuildSeconds;
+      T.Simplify += P.SimplifySeconds;
+      T.Select += P.SelectSeconds;
+      T.Spill += P.SpillSeconds;
+      T.Graphs += NumRegClasses; // one colored graph per class per pass
+    }
+  T.Wall += MA.WallSeconds;
+  T.Functions += M.numFunctions();
+
+  return FileStatus;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Paths;
+  std::string JsonPath = BenchJson::consumeFlag(Argc, Argv);
+  Options Opt;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--heuristic" && I + 1 < Argc) {
+      std::string Name = Argv[++I];
+      if (Name == "chaitin")
+        Opt.H = Heuristic::Chaitin;
+      else if (Name == "briggs")
+        Opt.H = Heuristic::Briggs;
+      else if (Name == "matula-beck")
+        Opt.H = Heuristic::MatulaBeck;
+      else {
+        std::fprintf(stderr, "unknown heuristic '%s'\n", Name.c_str());
+        return 1;
+      }
+    } else if (Arg == "--int" && I + 1 < Argc) {
+      Opt.IntK = unsigned(std::atoi(Argv[++I]));
+    } else if (Arg == "--flt" && I + 1 < Argc) {
+      Opt.FltK = unsigned(std::atoi(Argv[++I]));
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      Opt.Jobs = unsigned(std::atoi(Argv[++I]));
+    } else if (Arg == "--no-opt") {
+      Opt.Optimize = false;
+    } else if (Arg == "--remat") {
+      Opt.Remat = true;
+    } else if (Arg == "--audit") {
+      Opt.Audit = true;
+    } else if (Arg == "--no-audit") {
+      Opt.Audit = false;
+    } else if (Arg == "--print") {
+      Opt.Print = true;
+    } else if (Arg == "--run") {
+      Opt.Run = true;
+    } else if (Arg == "--quiet") {
+      Opt.Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage(Argv[0]);
+      return 1;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.empty()) {
+    usage(Argv[0]);
+    return 1;
+  }
+
+  Telemetry T;
+  bool Failed = false;
+  for (const std::string &Path : Paths) {
+    Status S = processFile(Path, Opt, T);
+    if (!S.ok()) {
+      // Parse/verify/open failures were not yet printed by processFile;
+      // allocation failures were. Printing the headline status twice is
+      // avoided by only reporting codes processFile returns directly.
+      if (S.code() == StatusCode::IoError ||
+          S.code() == StatusCode::ParseError ||
+          S.code() == StatusCode::VerifyError)
+        report(Path, S);
+      Failed = true;
+    }
   }
 
   if (!JsonPath.empty()) {
     BenchJson J("rac");
-    double Build = 0, Simplify = 0, Select = 0, Spill = 0;
-    uint64_t Graphs = 0;
-    for (const AllocationResult &A : MA.Functions) {
-      for (const PassRecord &P : A.Stats.Passes) {
-        Build += P.BuildSeconds;
-        Simplify += P.SimplifySeconds;
-        Select += P.SelectSeconds;
-        Spill += P.SpillSeconds;
-        Graphs += NumRegClasses; // one colored graph per class per pass
-      }
-    }
-    J.set("heuristic", std::string(heuristicName(H)));
-    J.set("jobs", Jobs);
-    J.set("functions", uint64_t(M.numFunctions()));
-    J.set("wall_seconds", MA.WallSeconds);
-    J.set("graphs_colored", Graphs);
-    J.set("graphs_per_sec",
-          MA.WallSeconds > 0 ? double(Graphs) / MA.WallSeconds : 0.0);
-    J.set("phases.build_seconds", Build);
-    J.set("phases.simplify_seconds", Simplify);
-    J.set("phases.select_seconds", Select);
-    J.set("phases.spill_seconds", Spill);
+    J.set("heuristic", std::string(heuristicName(Opt.H)));
+    J.set("jobs", Opt.Jobs);
+    J.set("functions", T.Functions);
+    J.set("wall_seconds", T.Wall);
+    J.set("graphs_colored", T.Graphs);
+    J.set("graphs_per_sec", T.Wall > 0 ? double(T.Graphs) / T.Wall : 0.0);
+    J.set("phases.build_seconds", T.Build);
+    J.set("phases.simplify_seconds", T.Simplify);
+    J.set("phases.select_seconds", T.Select);
+    J.set("phases.spill_seconds", T.Spill);
     if (!J.writeMerged(JsonPath))
       std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
   }

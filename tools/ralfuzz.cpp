@@ -1,0 +1,333 @@
+//===- tools/ralfuzz.cpp - randomized allocator fuzzer --------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Seeded fuzzer for the whole allocation pipeline. Each seed derives a
+// random-program shape and a register-file size, generates a
+// verifier-clean module, records a pre-allocation golden run, then
+// allocates under both of the paper's heuristics and checks the result
+// three independent ways:
+//
+//   1. the post-allocation audit (AllocationAudit.h) re-proves the
+//      coloring from scratch;
+//   2. the IR verifier accepts the rewritten function;
+//   3. the simulator is a differential oracle: the allocated run must
+//      reproduce the golden run's memory image and return values.
+//
+// On the first failure the program shape is shrunk while the failure
+// still reproduces, a parseable .ral reproducer (with the seed and
+// config in header comments) is dumped, and the tool exits 1.
+//
+//   ralfuzz [--seeds N] [--start S] [--audit|--no-audit]
+//           [--fault-inject] [--out FILE] [--quiet]
+//
+//   --seeds N       number of seeds to run (default 1000)
+//   --start S       first seed (default 0)
+//   --audit         run the in-allocator audit too (default on)
+//   --no-audit      rely on this tool's external checks only
+//   --fault-inject  deliberately miscolor / fail convergence and demand
+//                   a Degraded-but-still-correct fallback allocation
+//   --out FILE      reproducer path (default ralfuzz-repro.ral)
+//   --quiet         no progress lines
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "opt/Optimizer.h"
+#include "regalloc/AllocationAudit.h"
+#include "regalloc/Allocator.h"
+#include "sim/Simulator.h"
+#include "support/Rng.h"
+#include "workloads/RandomProgram.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace ra;
+
+namespace {
+
+/// One fuzz input: everything needed to regenerate the exact module and
+/// allocation deterministically.
+struct FuzzCase {
+  uint64_t Seed = 0;
+  RandomProgramConfig Shape;
+  bool Optimize = false;
+  unsigned IntK = 16, FltK = 8;
+};
+
+const unsigned IntSizes[] = {4, 8, 16};
+const unsigned FltSizes[] = {2, 4, 8};
+
+/// Derives the whole case from the seed so a reproducer needs only the
+/// seed and the (possibly shrunk) shape numbers.
+FuzzCase deriveCase(uint64_t Seed) {
+  FuzzCase FC;
+  FC.Seed = Seed;
+  Rng R(Seed * 0x9E3779B97F4A7C15ull + 0xA5A5A5A5ull);
+  FC.Shape.MaxDepth = unsigned(R.nextInRange(1, 3));
+  FC.Shape.StatementsPerBlock = unsigned(R.nextInRange(2, 10));
+  FC.Shape.Regions = unsigned(R.nextInRange(1, 8));
+  FC.Shape.IntVars = unsigned(R.nextInRange(2, 8));
+  FC.Shape.FloatVars = unsigned(R.nextInRange(2, 8));
+  FC.Shape.ArraySize = unsigned(R.nextInRange(4, 32));
+  FC.Shape.LoopTrip = R.nextInRange(1, 6);
+  FC.Optimize = R.nextBool();
+  FC.IntK = IntSizes[R.nextBelow(3)];
+  FC.FltK = FltSizes[R.nextBelow(3)];
+  return FC;
+}
+
+/// Runs one (case, heuristic) trial. Returns true when every check
+/// passes; otherwise fills \p Failure with a one-line diagnosis.
+bool runOne(const FuzzCase &FC, Heuristic H, bool Audit, bool FaultInject,
+            std::string &Failure) {
+  auto Fail = [&](std::string Msg) {
+    Failure = std::string(heuristicName(H)) + " int=" +
+              std::to_string(FC.IntK) + " flt=" + std::to_string(FC.FltK) +
+              ": " + std::move(Msg);
+    return false;
+  };
+
+  Module M;
+  Function &F = buildRandomProgram(M, FC.Seed, FC.Shape);
+  auto PreErrors = verifyFunction(M, F);
+  if (!PreErrors.empty())
+    return Fail("generator produced unverifiable IR: " + PreErrors.front());
+  if (FC.Optimize) {
+    optimizeFunction(F);
+    auto OptErrors = verifyFunction(M, F);
+    if (!OptErrors.empty())
+      return Fail("optimizer broke the module: " + OptErrors.front());
+  }
+
+  // Golden run on the exact function that will be allocated, before the
+  // allocator rewrites it.
+  Simulator Sim(M);
+  MemoryImage GoldenMem(M);
+  ExecutionResult Golden = Sim.runVirtual(F, GoldenMem);
+  if (!Golden.Ok)
+    return Fail("golden (virtual) run trapped: " + Golden.Error);
+
+  AllocatorConfig C;
+  C.H = H;
+  C.Machine = MachineInfo(FC.IntK, FC.FltK);
+  C.MaxPasses = 64; // Matula-Beck-style worst cases need headroom
+  C.Audit = Audit || FaultInject; // injected faults must be caught
+  if (FaultInject) {
+    // Alternate the injected failure mode by seed so both rungs of the
+    // degradation ladder see traffic.
+    if (FC.Seed & 1)
+      C.FaultInject.NonConvergence = true;
+    else
+      C.FaultInject.Miscolor = true;
+  }
+
+  AllocationResult A = allocateRegisters(F, C);
+  if (!A.Success)
+    return Fail("allocation failed: " + A.Diag.toString());
+  if (FaultInject && A.Outcome != AllocOutcome::Degraded)
+    return Fail(std::string("injected fault not degraded (outcome ") +
+                allocOutcomeName(A.Outcome) + ")");
+  if (!FaultInject && A.Outcome != AllocOutcome::Converged)
+    return Fail(std::string("unexpected ") + allocOutcomeName(A.Outcome) +
+                ": " + A.Diag.toString());
+
+  // Check 1: independent audit (always, even when the allocator already
+  // ran it — this is the oracle the tool vouches for).
+  auto AuditErrors = auditAllocation(F, A);
+  if (!AuditErrors.empty())
+    return Fail("audit: " + AuditErrors.front());
+
+  // Check 2: the rewritten function is still verifier-clean.
+  auto PostErrors = verifyFunction(M, F);
+  if (!PostErrors.empty())
+    return Fail("post-allocation verifier: " + PostErrors.front());
+
+  // Check 3: differential oracle against the golden run.
+  MemoryImage Mem(M);
+  ExecutionResult R = Sim.runAllocated(F, A, Mem);
+  if (!R.Ok)
+    return Fail("allocated run trapped: " + R.Error);
+  if (R.HasIntReturn != Golden.HasIntReturn ||
+      R.IntReturn != Golden.IntReturn)
+    return Fail("int return diverged: golden " +
+                std::to_string(Golden.IntReturn) + ", allocated " +
+                std::to_string(R.IntReturn));
+  if (R.HasFloatReturn != Golden.HasFloatReturn ||
+      !MemoryImage::doubleSemanticallyEqual(R.FloatReturn,
+                                            Golden.FloatReturn))
+    return Fail("float return diverged");
+  if (!(Mem == GoldenMem))
+    return Fail("memory image diverged after allocation");
+  return true;
+}
+
+/// Greedily shrinks the program shape while the failure reproduces.
+/// Each knob is walked down one notch at a time; one sweep that changes
+/// nothing ends the loop, so this terminates.
+FuzzCase minimizeCase(FuzzCase FC, Heuristic H, bool Audit, bool FaultInject,
+                      std::string &Failure) {
+  auto StillFails = [&](const FuzzCase &Candidate) {
+    std::string Msg;
+    if (runOne(Candidate, H, Audit, FaultInject, Msg))
+      return false;
+    Failure = Msg; // keep the message in sync with the shrunk case
+    return true;
+  };
+
+  bool Shrunk = true;
+  while (Shrunk) {
+    Shrunk = false;
+    auto TryKnob = [&](auto Get, auto Set, uint64_t Floor) {
+      while (uint64_t(Get(FC)) > Floor) {
+        FuzzCase Candidate = FC;
+        Set(Candidate, Get(FC) - 1);
+        if (!StillFails(Candidate))
+          break;
+        FC = Candidate;
+        Shrunk = true;
+      }
+    };
+    TryKnob([](const FuzzCase &C) { return C.Shape.Regions; },
+            [](FuzzCase &C, uint64_t V) { C.Shape.Regions = unsigned(V); },
+            1);
+    TryKnob([](const FuzzCase &C) { return C.Shape.MaxDepth; },
+            [](FuzzCase &C, uint64_t V) { C.Shape.MaxDepth = unsigned(V); },
+            1);
+    TryKnob(
+        [](const FuzzCase &C) { return C.Shape.StatementsPerBlock; },
+        [](FuzzCase &C, uint64_t V) {
+          C.Shape.StatementsPerBlock = unsigned(V);
+        },
+        1);
+    TryKnob([](const FuzzCase &C) { return C.Shape.IntVars; },
+            [](FuzzCase &C, uint64_t V) { C.Shape.IntVars = unsigned(V); },
+            1);
+    TryKnob([](const FuzzCase &C) { return C.Shape.FloatVars; },
+            [](FuzzCase &C, uint64_t V) { C.Shape.FloatVars = unsigned(V); },
+            1);
+    TryKnob([](const FuzzCase &C) { return C.Shape.ArraySize; },
+            [](FuzzCase &C, uint64_t V) { C.Shape.ArraySize = unsigned(V); },
+            2);
+    TryKnob([](const FuzzCase &C) { return uint64_t(C.Shape.LoopTrip); },
+            [](FuzzCase &C, uint64_t V) { C.Shape.LoopTrip = int64_t(V); },
+            1);
+  }
+  return FC;
+}
+
+/// Writes a parseable .ral reproducer with the full recipe in comments.
+bool dumpReproducer(const std::string &Path, const FuzzCase &FC,
+                    Heuristic H, const std::string &Failure) {
+  Module M;
+  buildRandomProgram(M, FC.Seed, FC.Shape);
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << "; ralfuzz reproducer (minimized)\n"
+      << "; failure: " << Failure << "\n"
+      << "; seed=" << FC.Seed << " heuristic=" << heuristicName(H)
+      << " int=" << FC.IntK << " flt=" << FC.FltK
+      << " optimize=" << (FC.Optimize ? 1 : 0) << "\n"
+      << "; shape: depth=" << FC.Shape.MaxDepth
+      << " stmts=" << FC.Shape.StatementsPerBlock
+      << " regions=" << FC.Shape.Regions << " ivars=" << FC.Shape.IntVars
+      << " fvars=" << FC.Shape.FloatVars
+      << " arrays=" << FC.Shape.ArraySize
+      << " trip=" << FC.Shape.LoopTrip << "\n"
+      << "; replay: rac " << Path << " --heuristic " << heuristicName(H)
+      << " --int " << FC.IntK << " --flt " << FC.FltK << " --run"
+      << (FC.Optimize ? "" : " --no-opt") << "\n"
+      << printModule(M);
+  return bool(Out);
+}
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--start S] [--audit|--no-audit]\n"
+               "       [--fault-inject] [--out FILE] [--quiet]\n",
+               Prog);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Seeds = 1000, Start = 0;
+  bool Audit = true, FaultInject = false, Quiet = false;
+  std::string OutPath = "ralfuzz-repro.ral";
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--seeds" && I + 1 < Argc) {
+      Seeds = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--start" && I + 1 < Argc) {
+      Start = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--audit") {
+      Audit = true;
+    } else if (Arg == "--no-audit") {
+      Audit = false;
+    } else if (Arg == "--fault-inject") {
+      FaultInject = true;
+    } else if (Arg == "--out" && I + 1 < Argc) {
+      OutPath = Argv[++I];
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage(Argv[0]);
+      return 1;
+    }
+  }
+
+  const Heuristic Heuristics[] = {Heuristic::Chaitin, Heuristic::Briggs};
+  uint64_t Trials = 0;
+
+  for (uint64_t S = Start; S < Start + Seeds; ++S) {
+    FuzzCase FC = deriveCase(S);
+    for (Heuristic H : Heuristics) {
+      ++Trials;
+      std::string Failure;
+      if (runOne(FC, H, Audit, FaultInject, Failure))
+        continue;
+
+      std::fprintf(stderr, "seed %llu FAILED: %s\n",
+                   (unsigned long long)S, Failure.c_str());
+      std::fprintf(stderr, "minimizing...\n");
+      FuzzCase Min = minimizeCase(FC, H, Audit, FaultInject, Failure);
+      if (dumpReproducer(OutPath, Min, H, Failure))
+        std::fprintf(stderr, "reproducer written to %s\n", OutPath.c_str());
+      else
+        std::fprintf(stderr, "cannot write reproducer %s\n",
+                     OutPath.c_str());
+      std::fprintf(stderr,
+                   "minimized: seed=%llu shape depth=%u stmts=%u "
+                   "regions=%u ivars=%u fvars=%u arrays=%u trip=%lld\n",
+                   (unsigned long long)Min.Seed, Min.Shape.MaxDepth,
+                   Min.Shape.StatementsPerBlock, Min.Shape.Regions,
+                   Min.Shape.IntVars, Min.Shape.FloatVars,
+                   Min.Shape.ArraySize, (long long)Min.Shape.LoopTrip);
+      std::fprintf(stderr, "failure after minimization: %s\n",
+                   Failure.c_str());
+      return 1;
+    }
+    if (!Quiet && (S + 1 - Start) % 500 == 0)
+      std::fprintf(stderr, "%llu/%llu seeds clean\n",
+                   (unsigned long long)(S + 1 - Start),
+                   (unsigned long long)Seeds);
+  }
+
+  std::printf("ralfuzz: %llu seeds, %llu allocations clean (%s%s)\n",
+              (unsigned long long)Seeds, (unsigned long long)Trials,
+              Audit ? "audited" : "unaudited",
+              FaultInject ? ", fault-injected" : "");
+  return 0;
+}
