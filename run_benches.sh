@@ -4,7 +4,10 @@
 #
 #   usage: run_benches.sh [BUILD_DIR]    (default: build)
 #
-# Set BENCH_JSON to redirect the telemetry file.
+# Set BENCH_JSON to redirect the telemetry file. Set RA_TRACE to a path
+# to additionally capture a Chrome/Perfetto trace of rac over the sample
+# programs; an unwritable trace path is a hard error (structured
+# diagnostic on stderr, non-zero exit), never a silent drop.
 set -e
 
 BUILD_DIR="${1:-build}"
@@ -21,6 +24,17 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 1
 fi
 
+# Pre-flight the trace destination before spending minutes on benches;
+# rac itself repeats the check (io-error) at write time.
+if [ -n "${RA_TRACE:-}" ]; then
+  trace_dir=$(dirname -- "$RA_TRACE")
+  if [ ! -d "$trace_dir" ] || [ ! -w "$trace_dir" ]; then
+    echo "run_benches: $RA_TRACE: io-error: trace output directory" \
+         "'$trace_dir' is not writable" >&2
+    exit 1
+  fi
+fi
+
 found=0
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
@@ -32,6 +46,15 @@ done
 if [ "$found" -eq 0 ]; then
   echo "error: no bench binaries under '$BUILD_DIR/bench'" >&2
   exit 1
+fi
+
+if [ -n "${RA_TRACE:-}" ]; then
+  echo "==== trace: rac over tools/samples -> $RA_TRACE ===="
+  "$BUILD_DIR"/tools/rac tools/samples/*.ral --quiet \
+      --trace="$RA_TRACE" || {
+    echo "run_benches: $RA_TRACE: io-error: rac failed writing trace" >&2
+    exit 1
+  }
 fi
 
 echo "==== telemetry merged into $BENCH_JSON ===="

@@ -16,6 +16,7 @@
 #include "regalloc/AllocationAudit.h"
 
 #include "support/BitVector.h"
+#include "support/Trace.h"
 
 #include <deque>
 
@@ -332,6 +333,7 @@ private:
 
 std::vector<std::string> ra::auditAllocation(const Function &F,
                                              const AllocationResult &A) {
+  RA_TRACE_SPAN("AllocationAudit", "regalloc");
   return Auditor(F, A).run();
 }
 

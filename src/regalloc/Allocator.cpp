@@ -25,6 +25,7 @@
 #include "regalloc/Coalesce.h"
 #include "regalloc/SpillCost.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cstdlib>
@@ -121,6 +122,58 @@ void injectMiscoloring(const std::array<ClassGraph, NumRegClasses> &Graphs,
   }
 }
 
+/// Loop-weighted area and occurrence depth per vreg, for the metrics
+/// table: Area is the sum over instructions where the range is live of
+/// the enclosing loop weight (Chaitin's "area" feature); LoopDepth is
+/// the deepest loop containing a def or use.
+void computeAreaAndDepth(const Function &F, const LoopInfo &Loops,
+                         const Liveness &LV, std::vector<double> &Area,
+                         std::vector<unsigned> &DepthOf) {
+  Area.assign(F.numVRegs(), 0);
+  DepthOf.assign(F.numVRegs(), 0);
+  for (const BasicBlock &B : F.blocks()) {
+    unsigned Depth = Loops.depth(B.Id);
+    double W = loopDepthWeight(Depth);
+    BitVector Live = LV.liveOut(B.Id);
+    for (auto It = B.Insts.rbegin(), E = B.Insts.rend(); It != E; ++It) {
+      const Instruction &I = *It;
+      if (I.hasDef()) {
+        DepthOf[I.defReg()] = std::max(DepthOf[I.defReg()], Depth);
+        Live.reset(I.defReg());
+      }
+      I.forEachUse([&](VRegId R) {
+        DepthOf[R] = std::max(DepthOf[R], Depth);
+        Live.set(R);
+      });
+      Live.forEachSetBit([&](unsigned R) { Area[R] += W; });
+    }
+  }
+}
+
+/// One metrics row for graph node \p Node of \p CG.
+RangeMetrics rangeRow(const Function &F, const ClassGraph &CG,
+                      uint32_t Node, unsigned Pass,
+                      const std::vector<double> &Costs,
+                      const std::vector<double> &Area,
+                      const std::vector<unsigned> &DepthOf,
+                      RangeMetrics::Decision D, int32_t Color) {
+  VRegId R = CG.NodeToVReg[Node];
+  RangeMetrics RM;
+  RM.Name = F.vreg(R).Name;
+  RM.Pass = Pass;
+  RM.Class = CG.Class;
+  RM.Degree = CG.Graph.degree(Node);
+  RM.Area = Area[R];
+  RM.Cost = Costs[R];
+  RM.CostPerDegree = RM.Cost == InterferenceGraph::InfiniteCost
+                         ? RM.Cost
+                         : (RM.Degree ? RM.Cost / RM.Degree : RM.Cost);
+  RM.LoopDepth = DepthOf[R];
+  RM.D = D;
+  RM.Color = Color;
+  return RM;
+}
+
 /// The Figure 4 loop: renumber -> [build -> coalesce -> costs ->
 /// simplify -> select -> spill]* until no pass spills. Sets Success and
 /// a NonConvergence diagnostic, but performs no auditing or fallback —
@@ -132,22 +185,42 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
 
   for (unsigned Pass = 0; Pass < C.MaxPasses; ++Pass) {
     PassRecord Rec;
+    RA_TRACE_SPAN("Pass", "regalloc",
+                  [&] { return "pass=" + std::to_string(Pass); });
 
     //===----------------------------------------------------------===//
     // Build: renumber, coalesce, build graphs, compute spill costs.
     //===----------------------------------------------------------===//
     Timer BuildTimer;
+    RA_TRACE_SPAN_NAMED(BuildSpan, "Build", "regalloc");
     BuildTimer.start();
-    renumberLiveRanges(F, G);
+    {
+      RA_TRACE_SPAN("Renumber", "regalloc");
+      renumberLiveRanges(F, G);
+    }
     if (C.Coalesce) {
       CoalesceStats CS = coalesceAll(F, G, C.Coalescing, C.Machine);
       Result.Stats.CopiesCoalesced += CS.CopiesRemoved;
+      if (C.CollectMetrics)
+        for (const CoalescedCopy &CC : CS.Merges) {
+          RangeMetrics RM;
+          RM.Name = CC.Merged;
+          RM.Pass = Pass;
+          RM.Class = CC.Class;
+          RM.D = RangeMetrics::Decision::Coalesced;
+          RM.CoalescedInto = CC.Into;
+          Result.Metrics.push_back(std::move(RM));
+        }
       if (CS.CopiesRemoved != 0)
         renumberLiveRanges(F, G); // compact ids merged away
     }
     Liveness LV = Liveness::compute(F, G);
     auto Graphs = buildInterferenceGraphs(F, LV);
     std::vector<double> Costs = computeSpillCosts(F, Loops, C.Costs);
+    std::vector<double> Area;
+    std::vector<unsigned> DepthOf;
+    if (C.CollectMetrics)
+      computeAreaAndDepth(F, Loops, LV, Area, DepthOf);
     for (ClassGraph &CG : Graphs) {
       setNodeCosts(F, Costs, CG);
       Rec.LiveRanges += CG.Graph.numNodes();
@@ -155,6 +228,7 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
     }
     BuildTimer.stop();
     Rec.BuildSeconds = BuildTimer.seconds();
+    BuildSpan.close();
 
     //===----------------------------------------------------------===//
     // Simplify + select, one class at a time.
@@ -170,7 +244,11 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
       // The two class files are disjoint, so their colorings share no
       // state; run Float on a helper thread while Int colors here.
       // Results land in fixed slots — output is identical to serial.
-      std::thread Helper([&] {
+      // The helper traces under its own sub-context so the event log
+      // groups deterministically whether or not it was spawned.
+      std::string ParentCtx = trace::ScopedContext::current();
+      std::thread Helper([&, ParentCtx] {
+        RA_TRACE_CONTEXT([&] { return ParentCtx + "/flt-helper"; });
         Colorings[1] =
             colorGraph(Graphs[1].Graph, C.Machine.numRegs(Graphs[1].Class),
                        C.H);
@@ -193,6 +271,10 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
         ToSpill.push_back(R);
         Rec.SpilledNames.push_back(F.vreg(R).Name);
         Rec.SpilledCost += Costs[R];
+        if (C.CollectMetrics)
+          Result.Metrics.push_back(rangeRow(
+              F, CG, Node, Pass, Costs, Area, DepthOf,
+              RangeMetrics::Decision::Spilled, /*Color=*/-1));
       }
     }
     Rec.SpilledLiveRanges = ToSpill.size();
@@ -206,6 +288,15 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
           Result.ColorOf[CG.NodeToVReg[Node]] =
               Colorings[Cls].ColorOf[Node];
       }
+      if (C.CollectMetrics)
+        for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls) {
+          const ClassGraph &CG = Graphs[Cls];
+          for (uint32_t Node = 0; Node < CG.Graph.numNodes(); ++Node)
+            Result.Metrics.push_back(
+                rangeRow(F, CG, Node, Pass, Costs, Area, DepthOf,
+                         RangeMetrics::Decision::Colored,
+                         Colorings[Cls].ColorOf[Node]));
+        }
       if (C.FaultInject.Miscolor)
         injectMiscoloring(Graphs, Colorings, C.Machine, Result);
       Result.Stats.Passes.push_back(std::move(Rec));
@@ -245,6 +336,7 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
 /// realistic file size.
 AllocationResult spillEverything(Function &F, const AllocatorConfig &C,
                                  const CFG &G, const LoopInfo &Loops) {
+  RA_TRACE_SPAN("SpillEverything", "regalloc");
   renumberLiveRanges(F, G);
   std::vector<VRegId> All(F.numVRegs());
   for (VRegId R = 0; R < F.numVRegs(); ++R)
@@ -266,6 +358,11 @@ AllocationResult ra::allocateRegisters(Function &F,
       F.name() == C.FaultInject.ThrowInFunction)
     throw std::runtime_error("fault injection: worker throw in @" +
                              F.name());
+
+  RA_TRACE_CONTEXT([&] { return "@" + F.name(); });
+  RA_TRACE_SPAN("AllocateFunction", "regalloc", [&] {
+    return std::string("heuristic=") + heuristicName(C.H);
+  });
 
   AllocationResult Result;
   Result.Machine = C.Machine;

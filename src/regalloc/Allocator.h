@@ -86,6 +86,11 @@ struct AllocatorConfig {
   /// Defaults to off unless the RA_AUDIT environment variable turns it
   /// on process-wide.
   bool Audit = auditEnabledByEnv();
+  /// Fill AllocationResult::Metrics with a per-live-range feature/
+  /// decision table (degree, area, cost/degree, loop depth, spill
+  /// decision, color, coalesced-into). Off by default: collecting the
+  /// table costs an extra liveness walk per pass.
+  bool CollectMetrics = false;
   /// Deliberate breakage for tests; see FaultInjectOptions.
   FaultInjectOptions FaultInject;
 };
@@ -143,6 +148,48 @@ struct AllocationStats {
   }
 };
 
+/// One live range's graph features and allocation decision — the rows
+/// of the per-range metrics table (AllocatorConfig::CollectMetrics).
+/// Every pass contributes rows for its spilled and coalesced-away
+/// ranges; the converging pass additionally contributes one Colored row
+/// per surviving range, so the table is a census of where every live
+/// range ended up and the features (Chaitin's spill estimator inputs)
+/// behind each decision.
+struct RangeMetrics {
+  /// The decision taken for the range.
+  enum class Decision : uint8_t {
+    Colored,   ///< Got a register in the converging pass.
+    Spilled,   ///< Chosen for spilling this pass.
+    Coalesced, ///< Merged into CoalescedInto by copy coalescing.
+  };
+
+  std::string Name;          ///< Live-range debug name at decision time.
+  unsigned Pass = 0;         ///< Build-Simplify-Color pass (0-based).
+  RegClass Class = RegClass::Int;
+  unsigned Degree = 0;       ///< Interference-graph degree this pass.
+  double Area = 0;           ///< Loop-weighted occupancy: sum over
+                             ///< instructions where live of 10^depth.
+  double Cost = 0;           ///< Loop-weighted spill cost estimate.
+  double CostPerDegree = 0;  ///< Chaitin's spill metric (Cost for
+                             ///< degree-0 nodes).
+  unsigned LoopDepth = 0;    ///< Deepest loop containing an occurrence.
+  Decision D = Decision::Colored;
+  int32_t Color = -1;        ///< Physical register, or -1 if not colored.
+  std::string CoalescedInto; ///< Surviving range's name (Coalesced only).
+};
+
+/// Printable decision name ("colored", "spilled", "coalesced").
+const char *rangeDecisionName(RangeMetrics::Decision D);
+
+/// Header line of the metrics CSV dump (matches appendMetricsCsv).
+std::string metricsCsvHeader();
+
+/// Appends one CSV line per metrics row of \p A to \p Out, prefixed
+/// with \p FunctionName. Numeric formatting is deterministic, so equal
+/// allocations dump byte-identical CSV (golden-file tested).
+void appendMetricsCsv(std::string &Out, const std::string &FunctionName,
+                      const std::vector<RangeMetrics> &Metrics);
+
 /// How an allocation concluded — the degradation ladder's rungs.
 enum class AllocOutcome : uint8_t {
   Converged, ///< Build-Simplify-Color converged; audit (if run) passed.
@@ -164,6 +211,11 @@ struct AllocationResult {
   /// rejected; for Failed, why no allocation could be produced.
   Status Diag;
   AllocationStats Stats;
+  /// Per-live-range feature/decision table; filled only when
+  /// AllocatorConfig::CollectMetrics is set. For a Degraded outcome the
+  /// rows describe the spill-everything fallback that produced the
+  /// final allocation.
+  std::vector<RangeMetrics> Metrics;
   /// Physical register index per final vreg, within its class's file.
   std::vector<int32_t> ColorOf;
   MachineInfo Machine = MachineInfo::rtpc();

@@ -6,6 +6,8 @@
 
 #include "regalloc/BuildGraph.h"
 
+#include "support/Trace.h"
+
 using namespace ra;
 
 namespace {
@@ -40,6 +42,7 @@ void forEachInterference(const Function &F, const Liveness &LV,
 
 std::array<ClassGraph, NumRegClasses>
 ra::buildInterferenceGraphs(const Function &F, const Liveness &LV) {
+  RA_TRACE_SPAN("BuildGraph", "regalloc");
   std::array<ClassGraph, NumRegClasses> Out;
 
   // Dense node numbering per class, in ascending vreg order so node ids

@@ -8,6 +8,7 @@
 
 #include "analysis/Liveness.h"
 #include "regalloc/BuildGraph.h"
+#include "support/Trace.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
@@ -16,7 +17,9 @@ using namespace ra;
 
 unsigned ra::coalesceOnePass(Function &F, const CFG &G,
                              CoalescePolicy Policy,
-                             const std::optional<MachineInfo> &Machine) {
+                             const std::optional<MachineInfo> &Machine,
+                             std::vector<CoalescedCopy> *Merges) {
+  RA_TRACE_SPAN("CoalesceRound", "regalloc");
   Liveness LV = Liveness::compute(F, G);
   TriangularBitMatrix Matrix = buildInterferenceMatrix(F, LV);
   unsigned NR = F.numVRegs();
@@ -74,6 +77,11 @@ unsigned ra::coalesceOnePass(Function &F, const CFG &G,
           !ConservativelySafe(D, S))
         continue;
       unsigned Root = UF.unite(D, S);
+      if (Merges) {
+        VRegId Gone = Root == D ? S : D;
+        Merges->push_back(
+            {F.vreg(Gone).Name, F.vreg(Root).Name, F.regClass(D)});
+      }
       // A merge with a spill temporary stays protected from re-spilling.
       F.vreg(Root).IsSpillTemp =
           F.vreg(D).IsSpillTemp || F.vreg(S).IsSpillTemp;
@@ -103,13 +111,17 @@ unsigned ra::coalesceOnePass(Function &F, const CFG &G,
 CoalesceStats ra::coalesceAll(Function &F, const CFG &G,
                               CoalescePolicy Policy,
                               const std::optional<MachineInfo> &Machine) {
+  RA_TRACE_SPAN("Coalesce", "regalloc");
   CoalesceStats Stats;
   while (true) {
-    unsigned Merged = coalesceOnePass(F, G, Policy, Machine);
+    unsigned Merged =
+        coalesceOnePass(F, G, Policy, Machine, &Stats.Merges);
     ++Stats.Rounds;
     if (Merged == 0)
       break;
     Stats.CopiesRemoved += Merged;
   }
+  RA_TRACE_COUNTER("coalesce.copies_removed", Stats.CopiesRemoved);
+  RA_TRACE_COUNTER("coalesce.rounds", Stats.Rounds);
   return Stats;
 }

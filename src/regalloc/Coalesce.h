@@ -34,20 +34,32 @@ enum class CoalescePolicy : uint8_t {
   Conservative,
 };
 
+/// One live range merged away by coalescing (metrics-table feed).
+struct CoalescedCopy {
+  std::string Merged; ///< Name of the range that disappeared.
+  std::string Into;   ///< Name of the surviving (root) range.
+  RegClass Class = RegClass::Int;
+};
+
 /// Result of the coalescing fixpoint.
 struct CoalesceStats {
   unsigned CopiesRemoved = 0; ///< Copies eliminated by merging.
   unsigned Rounds = 0;        ///< Build+merge rounds until fixpoint.
+  /// Every merge in decision order — feeds the per-range metrics
+  /// table's Coalesced rows.
+  std::vector<CoalescedCopy> Merges;
 };
 
 /// Runs one build+merge round: builds the interference matrix, merges
 /// every coalescable copy whose operands were not already touched by a
 /// merge this round, rewrites operands, and deletes the dead copies.
-/// Returns the number of copies removed. For the Conservative policy,
+/// Returns the number of copies removed; when \p Merges is non-null,
+/// appends one CoalescedCopy per merge. For the Conservative policy,
 /// \p Machine supplies the per-class k.
 unsigned coalesceOnePass(Function &F, const CFG &G,
                          CoalescePolicy Policy = CoalescePolicy::Aggressive,
-                         const std::optional<MachineInfo> &Machine = {});
+                         const std::optional<MachineInfo> &Machine = {},
+                         std::vector<CoalescedCopy> *Merges = nullptr);
 
 /// Repeats \c coalesceOnePass until no copy can be merged.
 CoalesceStats coalesceAll(Function &F, const CFG &G,

@@ -9,6 +9,7 @@
 #include "regalloc/DegreeBuckets.h"
 #include "regalloc/SpillHeap.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -57,9 +58,21 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
 
   Timer SimplifyTimer, SelectTimer;
 
+  // Counter tracking is gated on an active trace session: when off, the
+  // only residue is dead local integers (and no StuckPushed allocation).
+  const bool Tracing = trace::enabled();
+  uint64_t StuckEntries = 0, StuckPicks = 0, OptimisticSaves = 0;
+  std::vector<bool> StuckPushed;
+  if (Tracing && H == Heuristic::Briggs)
+    StuckPushed.assign(N, false);
+
   //===------------------------------------------------------------===//
   // Phase 2: simplify.
   //===------------------------------------------------------------===//
+  RA_TRACE_SPAN_NAMED(SimplifySpan, "Simplify", "regalloc", [&] {
+    return "nodes=" + std::to_string(N) + ";k=" + std::to_string(K) +
+           ";heuristic=" + heuristicName(H);
+  });
   SimplifyTimer.start();
   DegreeBuckets Buckets;
   {
@@ -74,6 +87,7 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
   SpillCandidateHeap SpillHeap; // built on the first stuck step
 
   uint32_t Hint = 0;
+  bool InStuckRegion = false;
   while (Buckets.numLive() != 0) {
     uint32_t D = Buckets.lowestNonEmpty(Hint);
     assert(D != DegreeBuckets::None && "live nodes but empty buckets");
@@ -84,7 +98,11 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
       // Unconstrained node (or smallest-last regardless of K): remove
       // the head of the lowest bucket.
       Chosen = Buckets.head(D);
+      InStuckRegion = false;
     } else {
+      StuckEntries += !InStuckRegion;
+      InStuckRegion = true;
+      ++StuckPicks;
       // Stuck: every remaining node has K or more neighbors. Fall back
       // on Chaitin's estimator (Section 2.3) to choose the node, then
       // either mark it spilled (Chaitin) or push it optimistically
@@ -94,6 +112,8 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
       if (!SpillHeap.active())
         SpillHeap.build(G, Buckets);
       Chosen = SpillHeap.pick(Buckets);
+      if (!StuckPushed.empty())
+        StuckPushed[Chosen] = true; // Briggs: optimistic push, tracked
       if (H == Heuristic::Chaitin) {
         MarkedSpilled[Chosen] = true;
         R.Spilled.push_back(Chosen);
@@ -110,6 +130,7 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
     Hint = D == 0 ? 0 : D - 1;
   }
   SimplifyTimer.stop();
+  SimplifySpan.close();
 
   //===------------------------------------------------------------===//
   // Phase 3: select. Rebuild the graph in reverse removal order,
@@ -117,6 +138,7 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
   // neighbors. Uncolorable nodes are left uncolored (Briggs) — spill
   // decisions deferred to this phase.
   //===------------------------------------------------------------===//
+  RA_TRACE_SPAN_NAMED(SelectSpan, "Select", "regalloc");
   SelectTimer.start();
   std::vector<bool> Used(K);
   std::vector<bool> Inserted(N, false);
@@ -141,10 +163,21 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
     } else {
       R.ColorOf[Node] = Color;
       R.NumColorsUsed = std::max(R.NumColorsUsed, unsigned(Color) + 1);
+      if (!StuckPushed.empty() && StuckPushed[Node])
+        ++OptimisticSaves; // a stuck-pushed node still found a color
     }
     Inserted[Node] = true;
   }
   SelectTimer.stop();
+  SelectSpan.close();
+
+  if (Tracing) {
+    RA_TRACE_COUNTER("coloring.stuck_entries", double(StuckEntries));
+    RA_TRACE_COUNTER("coloring.stuck_picks", double(StuckPicks));
+    if (H == Heuristic::Briggs)
+      RA_TRACE_COUNTER("coloring.optimistic_saves", double(OptimisticSaves));
+    RA_TRACE_COUNTER("coloring.spilled", double(R.Spilled.size()));
+  }
 
   R.SimplifySeconds = SimplifyTimer.seconds();
   R.SelectSeconds = SelectTimer.seconds();

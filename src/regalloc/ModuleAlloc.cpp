@@ -18,6 +18,7 @@
 #include "ir/Module.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <future>
 #include <vector>
@@ -61,6 +62,13 @@ ModuleAllocationResult ra::allocateModule(Module &M,
   Wall.start();
 
   unsigned Jobs = ThreadPool::resolveJobs(C.Jobs);
+  // Scheduling events go in the "sched" category: they describe how work
+  // landed on workers, which varies with --jobs, so normalizedLog drops
+  // them while trace viewers still show the fan-out.
+  RA_TRACE_SPAN("ModuleAlloc", "sched", [&] {
+    return "functions=" + std::to_string(M.numFunctions()) +
+           ";jobs=" + std::to_string(Jobs);
+  });
   if (Jobs <= 1 || M.numFunctions() <= 1) {
     for (unsigned I = 0; I < M.numFunctions(); ++I) {
       Function &F = M.function(I);
@@ -73,13 +81,18 @@ ModuleAllocationResult ra::allocateModule(Module &M,
     Pending.reserve(M.numFunctions());
     for (unsigned I = 0; I < M.numFunctions(); ++I) {
       Function &F = M.function(I);
+      if (trace::enabled())
+        RA_TRACE_INSTANT("TaskQueued", "sched", "@" + F.name());
       Pending.push_back(Pool.submit([&F, &C] {
         return allocateRegisters(F, C);
       }));
     }
-    for (unsigned I = 0; I < M.numFunctions(); ++I)
+    for (unsigned I = 0; I < M.numFunctions(); ++I) {
+      RA_TRACE_SPAN("CollectFunction", "sched",
+                    [&] { return "@" + M.function(I).name(); });
       Result.Functions[I] =
           collectOne(M.function(I), C, [&] { return Pending[I].get(); });
+    }
   }
 
   Wall.stop();

@@ -7,6 +7,7 @@
 #include "regalloc/SpillCost.h"
 
 #include "regalloc/InterferenceGraph.h"
+#include "support/Trace.h"
 
 using namespace ra;
 
@@ -20,6 +21,7 @@ double ra::loopDepthWeight(unsigned Depth) {
 std::vector<double> ra::computeSpillCosts(const Function &F,
                                           const LoopInfo &LI,
                                           const CostModel &CM) {
+  RA_TRACE_SPAN("SpillCost", "regalloc");
   std::vector<double> Cost(F.numVRegs(), 0);
   for (const BasicBlock &B : F.blocks()) {
     double W = loopDepthWeight(LI.depth(B.Id));

@@ -6,6 +6,8 @@
 
 #include "regalloc/SpillInserter.h"
 
+#include "support/Trace.h"
+
 #include <cassert>
 #include <cstring>
 #include <map>
@@ -52,6 +54,8 @@ SpillCodeStats ra::insertSpillCode(Function &F,
   SpillCodeStats Stats;
   if (ToSpill.empty())
     return Stats;
+  RA_TRACE_SPAN("SpillInserter", "regalloc",
+                [&] { return "ranges=" + std::to_string(ToSpill.size()); });
 
   // Constant ranges that can be recomputed instead of stored.
   std::map<VRegId, Instruction> Remat;
@@ -135,5 +139,8 @@ SpillCodeStats ra::insertSpillCode(Function &F,
     }
     B.Insts = std::move(NewInsts);
   }
+  RA_TRACE_COUNTER("spill.loads", Stats.Loads);
+  RA_TRACE_COUNTER("spill.stores", Stats.Stores);
+  RA_TRACE_COUNTER("spill.remats", Stats.Remats);
   return Stats;
 }

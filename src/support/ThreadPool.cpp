@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Trace.h"
+
 using namespace ra;
 
 unsigned ThreadPool::resolveJobs(unsigned Requested) {
@@ -19,7 +21,11 @@ ThreadPool::ThreadPool(unsigned NumThreads) {
   unsigned N = resolveJobs(NumThreads);
   Workers.reserve(N);
   for (unsigned I = 0; I < N; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] {
+      if (trace::enabled())
+        trace::setCurrentThreadName("pool-worker-" + std::to_string(I));
+      workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -1,0 +1,56 @@
+//===- tests/NegativeTraceTest.cpp - unwritable-output diagnostics --------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Negative paths for the observability writers, mirroring
+// NegativeParseTest.cpp's contract: a bad destination must produce a
+// structured Status (io-error code, message naming the path) — never a
+// silent drop of collected events. rac and run_benches.sh surface these
+// as non-zero exits (pinned by the rac_trace_unwritable ctest cases).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace ra;
+
+namespace {
+
+trace::SessionLog oneEventLog() {
+  trace::beginSession();
+  RA_TRACE_INSTANT("Only", "test");
+  return trace::endSession();
+}
+
+TEST(NegativeTrace, UnwritableDirectoryIsStructuredIoError) {
+  const std::string Path = "/nonexistent-dir/trace.json";
+  Status S = trace::writeChromeJson(Path, oneEventLog());
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::IoError);
+  EXPECT_NE(S.toString().find("io-error"), std::string::npos);
+  EXPECT_NE(S.toString().find(Path), std::string::npos)
+      << "diagnostic must name the path: " << S.toString();
+}
+
+TEST(NegativeTrace, DirectoryAsDestinationIsStructuredIoError) {
+  // The path exists but is not a writable file.
+  Status S = trace::writeChromeJson("/", oneEventLog());
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::IoError);
+}
+
+TEST(NegativeTrace, WritableDestinationSucceeds) {
+  std::string Path = ::testing::TempDir() + "negative_trace_ok.json";
+  Status S = trace::writeChromeJson(Path, oneEventLog());
+  EXPECT_TRUE(S.ok()) << S.toString();
+  std::remove(Path.c_str());
+}
+
+} // namespace

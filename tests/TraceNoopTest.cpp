@@ -1,0 +1,64 @@
+//===- tests/TraceNoopTest.cpp - compile-time-off tracing guard -----------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// This translation unit is compiled with RA_NO_TRACING (see
+// tests/CMakeLists.txt), the configuration instrumented code ships in
+// when tracing is compiled out. The overhead guard: every RA_TRACE_*
+// macro must expand to a no-op that does not even evaluate its
+// arguments — asserted by bumping a counter from the argument
+// expressions and demanding it stays at zero *while a session is
+// actively collecting*.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_NO_TRACING
+#error "TraceNoopTest.cpp must be compiled with RA_NO_TRACING"
+#endif
+
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+int SideEffects = 0;
+
+// [[maybe_unused]] because compiling this TU proves the point: with
+// RA_NO_TRACING the macros never even reference these functions.
+[[maybe_unused]] const char *touchName() {
+  ++SideEffects;
+  return "Phase";
+}
+
+[[maybe_unused]] double touchValue() {
+  ++SideEffects;
+  return 1.0;
+}
+
+TEST(TraceNoop, MacrosDoNotEvaluateArguments) {
+  // A live session makes the check strict: even the runtime-on path
+  // must be unreachable from a TU that compiled tracing out.
+  ra::trace::beginSession();
+  SideEffects = 0;
+  {
+    RA_TRACE_SPAN(touchName(), "test",
+                  [] { return std::string("built"); });
+    RA_TRACE_SPAN_NAMED(Named, touchName(), "test");
+    RA_TRACE_CONTEXT(std::string(touchName()));
+    RA_TRACE_COUNTER(touchName(), touchValue());
+    RA_TRACE_INSTANT(touchName(), "test");
+    Named.close(); // NoopSpan keeps the close() shape
+  }
+  EXPECT_EQ(SideEffects, 0)
+      << "RA_NO_TRACING macro expansion evaluated an argument";
+
+  ra::trace::SessionLog Log = ra::trace::endSession();
+  EXPECT_TRUE(Log.Events.empty())
+      << "RA_NO_TRACING instrumentation recorded an event";
+  EXPECT_EQ(Log.counter("Phase"), 0.0);
+}
+
+} // namespace

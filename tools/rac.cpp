@@ -20,6 +20,8 @@
 //   --run                execute each function on zero-filled memory
 //   --quiet              suppress the statistics table
 //   --bench-json FILE    merge allocation telemetry into FILE
+//   --trace[=]FILE       write a Chrome/Perfetto trace of the run
+//   --metrics[=]FILE     write the per-live-range metrics table (CSV)
 //
 // Every input file is processed even after an earlier one fails, so a
 // batch run reports one structured diagnostic per broken input instead
@@ -37,6 +39,7 @@
 #include "sim/Simulator.h"
 #include "support/Status.h"
 #include "support/Table.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -54,7 +57,7 @@ void usage(const char *Prog) {
       "usage: %s FILE.ral... [--heuristic chaitin|briggs|matula-beck]\n"
       "       [--int K] [--flt K] [--jobs N] [--no-opt] [--remat]\n"
       "       [--audit] [--no-audit] [--print] [--run] [--quiet]\n"
-      "       [--bench-json FILE]\n",
+      "       [--bench-json FILE] [--trace FILE] [--metrics FILE]\n",
       Prog);
 }
 
@@ -68,6 +71,8 @@ struct Options {
   unsigned IntK = 16, FltK = 8, Jobs = 1;
   bool Optimize = true, Remat = false, Audit = true;
   bool Print = false, Run = false, Quiet = false;
+  std::string TracePath;   ///< --trace: Chrome trace JSON output.
+  std::string MetricsPath; ///< --metrics: per-range CSV output.
 };
 
 /// Aggregated telemetry across all input files for --bench-json.
@@ -80,7 +85,7 @@ struct Telemetry {
 /// parsed, verified, and every function allocated (Degraded counts as
 /// usable but is reported on stderr).
 Status processFile(const std::string &Path, const Options &Opt,
-                   Telemetry &T) {
+                   Telemetry &T, std::string &MetricsCsv) {
   std::ifstream In(Path);
   if (!In)
     return Status::error(StatusCode::IoError, "cannot open file");
@@ -110,7 +115,13 @@ Status processFile(const std::string &Path, const Options &Opt,
   C.Rematerialize = Opt.Remat;
   C.Jobs = Opt.Jobs;
   C.Audit = Opt.Audit;
+  C.CollectMetrics = !Opt.MetricsPath.empty();
   ModuleAllocationResult MA = allocateModule(M, C);
+
+  if (C.CollectMetrics)
+    for (unsigned FI = 0; FI < M.numFunctions(); ++FI)
+      appendMetricsCsv(MetricsCsv, M.function(FI).name(),
+                       MA.Functions[FI].Metrics);
 
   Table Stats({"Function", "Live Ranges", "Interferences", "Passes",
                "Spilled", "Spill Cost", "Remats", "Object (B)"});
@@ -231,6 +242,14 @@ int main(int Argc, char **Argv) {
       Opt.Run = true;
     } else if (Arg == "--quiet") {
       Opt.Quiet = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Opt.TracePath = Arg.substr(8);
+    } else if (Arg == "--trace" && I + 1 < Argc) {
+      Opt.TracePath = Argv[++I];
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      Opt.MetricsPath = Arg.substr(10);
+    } else if (Arg == "--metrics" && I + 1 < Argc) {
+      Opt.MetricsPath = Argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
       usage(Argv[0]);
       return 0;
@@ -248,9 +267,12 @@ int main(int Argc, char **Argv) {
   }
 
   Telemetry T;
+  std::string MetricsCsv;
   bool Failed = false;
+  if (!Opt.TracePath.empty())
+    trace::beginSession();
   for (const std::string &Path : Paths) {
-    Status S = processFile(Path, Opt, T);
+    Status S = processFile(Path, Opt, T, MetricsCsv);
     if (!S.ok()) {
       // Parse/verify/open failures were not yet printed by processFile;
       // allocation failures were. Printing the headline status twice is
@@ -259,6 +281,28 @@ int main(int Argc, char **Argv) {
           S.code() == StatusCode::ParseError ||
           S.code() == StatusCode::VerifyError)
         report(Path, S);
+      Failed = true;
+    }
+  }
+
+  // Observability outputs. An unwritable path is a hard failure with a
+  // structured diagnostic — events must never be dropped silently.
+  if (!Opt.TracePath.empty()) {
+    trace::SessionLog Log = trace::endSession();
+    if (Status S = trace::writeChromeJson(Opt.TracePath, Log); !S.ok()) {
+      report(Opt.TracePath, S);
+      Failed = true;
+    }
+  }
+  if (!Opt.MetricsPath.empty()) {
+    std::ofstream Out(Opt.MetricsPath);
+    if (Out)
+      Out << metricsCsvHeader() << MetricsCsv;
+    if (!Out || !Out.flush()) {
+      report(Opt.MetricsPath,
+             Status::error(StatusCode::IoError,
+                           "cannot write metrics output")
+                 .addContext("--metrics"));
       Failed = true;
     }
   }

@@ -21,7 +21,7 @@
 // config in header comments) is dumped, and the tool exits 1.
 //
 //   ralfuzz [--seeds N] [--start S] [--audit|--no-audit]
-//           [--fault-inject] [--out FILE] [--quiet]
+//           [--fault-inject] [--out FILE] [--emit-corpus DIR] [--quiet]
 //
 //   --seeds N       number of seeds to run (default 1000)
 //   --start S       first seed (default 0)
@@ -30,6 +30,9 @@
 //   --fault-inject  deliberately miscolor / fail convergence and demand
 //                   a Degraded-but-still-correct fallback allocation
 //   --out FILE      reproducer path (default ralfuzz-repro.ral)
+//   --emit-corpus DIR  instead of fuzzing, write one reproducer-format
+//                   .ral per seed into DIR (seeds the checked-in
+//                   tests/corpus/ regression corpus) and exit
 //   --quiet         no progress lines
 //
 //===----------------------------------------------------------------------===//
@@ -248,10 +251,36 @@ bool dumpReproducer(const std::string &Path, const FuzzCase &FC,
   return bool(Out);
 }
 
+/// Writes one corpus case: the same reproducer format dumpReproducer
+/// emits (seed + shape + replay line in comments, then the module), so
+/// corpus files double as documentation of how to re-derive them.
+bool dumpCorpusFile(const std::string &Path, const FuzzCase &FC) {
+  Module M;
+  buildRandomProgram(M, FC.Seed, FC.Shape);
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << "; ralfuzz corpus case\n"
+      << "; seed=" << FC.Seed << " int=" << FC.IntK << " flt=" << FC.FltK
+      << " optimize=" << (FC.Optimize ? 1 : 0) << "\n"
+      << "; shape: depth=" << FC.Shape.MaxDepth
+      << " stmts=" << FC.Shape.StatementsPerBlock
+      << " regions=" << FC.Shape.Regions << " ivars=" << FC.Shape.IntVars
+      << " fvars=" << FC.Shape.FloatVars
+      << " arrays=" << FC.Shape.ArraySize
+      << " trip=" << FC.Shape.LoopTrip << "\n"
+      << "; replay: rac " << Path << " --int " << FC.IntK << " --flt "
+      << FC.FltK << " --run --audit"
+      << (FC.Optimize ? "" : " --no-opt") << "\n"
+      << printModule(M);
+  return bool(Out);
+}
+
 void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start S] [--audit|--no-audit]\n"
-               "       [--fault-inject] [--out FILE] [--quiet]\n",
+               "       [--fault-inject] [--out FILE] [--emit-corpus DIR]\n"
+               "       [--quiet]\n",
                Prog);
 }
 
@@ -261,6 +290,7 @@ int main(int Argc, char **Argv) {
   uint64_t Seeds = 1000, Start = 0;
   bool Audit = true, FaultInject = false, Quiet = false;
   std::string OutPath = "ralfuzz-repro.ral";
+  std::string CorpusDir;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -276,6 +306,8 @@ int main(int Argc, char **Argv) {
       FaultInject = true;
     } else if (Arg == "--out" && I + 1 < Argc) {
       OutPath = Argv[++I];
+    } else if (Arg == "--emit-corpus" && I + 1 < Argc) {
+      CorpusDir = Argv[++I];
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -286,6 +318,24 @@ int main(int Argc, char **Argv) {
       usage(Argv[0]);
       return 1;
     }
+  }
+
+  if (!CorpusDir.empty()) {
+    for (uint64_t S = Start; S < Start + Seeds; ++S) {
+      FuzzCase FC = deriveCase(S);
+      char Name[32];
+      std::snprintf(Name, sizeof(Name), "seed%04llu.ral",
+                    (unsigned long long)S);
+      std::string Path = CorpusDir + "/" + Name;
+      if (!dumpCorpusFile(Path, FC)) {
+        std::fprintf(stderr, "ralfuzz: %s: io-error: cannot write corpus"
+                             " file\n", Path.c_str());
+        return 1;
+      }
+    }
+    std::printf("ralfuzz: %llu corpus cases written to %s\n",
+                (unsigned long long)Seeds, CorpusDir.c_str());
+    return 0;
   }
 
   const Heuristic Heuristics[] = {Heuristic::Chaitin, Heuristic::Briggs};
