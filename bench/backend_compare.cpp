@@ -1,0 +1,161 @@
+//===- bench/backend_compare.cpp - coloring vs linear scan ----------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Cross-backend comparison over the workload suite: the Briggs coloring
+// backend against the linear-scan backend, one row per routine, with
+// first-pass spills, estimated spill cost, simulated dynamic cycles and
+// allocation wall time per backend. Every allocation is audited, and
+// both backends' runs must produce identical memory images — the bench
+// doubles as a differential check. Feeds the "Allocation backends"
+// comparison table in EXPERIMENTS.md and merges per-backend telemetry
+// into BENCH_allocator.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "opt/Optimizer.h"
+#include "regalloc/Allocator.h"
+#include "sim/Simulator.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace ra;
+
+namespace {
+
+struct BackendRun {
+  unsigned Spills = 0;
+  double SpillCost = 0;
+  uint64_t Cycles = 0;
+  double AllocSeconds = 0;
+};
+
+double allocSeconds(const AllocationStats &S) {
+  double T = 0;
+  for (const PassRecord &P : S.Passes)
+    T += P.BuildSeconds + P.SimplifySeconds + P.SelectSeconds +
+         P.SpillSeconds;
+  return T;
+}
+
+BackendRun runBackend(const Workload &W, Backend B,
+                      std::optional<MemoryImage> &MemOut) {
+  Module M;
+  Function &F = W.Build(M);
+  optimizeFunction(F);
+  AllocatorConfig C;
+  C.B = B;
+  C.H = Heuristic::Briggs;
+  C.Audit = true; // published numbers come from proven allocations only
+  AllocationResult A = allocateRegisters(F, C);
+  if (!A.Success || A.Outcome != AllocOutcome::Converged) {
+    std::fprintf(stderr, "%s: %s allocation failed: %s\n",
+                 W.Routine.c_str(), backendName(B),
+                 A.Diag.toString().c_str());
+    std::exit(1);
+  }
+
+  Simulator Sim(M, CostModel::rtpc());
+  MemoryImage Mem(M);
+  W.Init(M, Mem);
+  ExecutionResult R = Sim.runAllocated(F, A, Mem);
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s: %s run trapped: %s\n", W.Routine.c_str(),
+                 backendName(B), R.Error.c_str());
+    std::exit(1);
+  }
+
+  BackendRun Out;
+  Out.Spills = A.Stats.firstPassSpills();
+  Out.SpillCost = A.Stats.firstPassSpillCost();
+  Out.Cycles = R.Cycles;
+  Out.AllocSeconds = allocSeconds(A.Stats);
+  MemOut.emplace(std::move(Mem));
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = BenchJson::consumeFlag(Argc, Argv);
+  std::printf("Allocation backends — Briggs coloring vs linear scan\n");
+  std::printf("(16 integer + 8 floating-point registers, RT/PC model)\n\n");
+
+  Table T({"Routine", "Spilled GC", "LS", "Cost GC", "LS", "Cycles GC",
+           "LS", "Cycle Pct.", "Alloc s GC", "LS"});
+
+  BackendRun TotalGC, TotalLS;
+  unsigned Routines = 0;
+  for (const Workload &W : allWorkloads()) {
+    std::optional<MemoryImage> MemGC, MemLS;
+    BackendRun GC = runBackend(W, Backend::GraphColoring, MemGC);
+    BackendRun LS = runBackend(W, Backend::LinearScan, MemLS);
+    if (!(*MemGC == *MemLS)) {
+      std::fprintf(stderr, "%s: backends produced different memory "
+                           "images\n", W.Routine.c_str());
+      std::exit(1);
+    }
+
+    T.addRow({W.Routine, Table::withCommas(GC.Spills),
+              Table::withCommas(LS.Spills),
+              Table::withCommas(int64_t(GC.SpillCost)),
+              Table::withCommas(int64_t(LS.SpillCost)),
+              Table::withCommas(GC.Cycles), Table::withCommas(LS.Cycles),
+              Table::pctImprovement(double(LS.Cycles), double(GC.Cycles)),
+              Table::fixed(GC.AllocSeconds, 4),
+              Table::fixed(LS.AllocSeconds, 4)});
+
+    TotalGC.Spills += GC.Spills;
+    TotalGC.SpillCost += GC.SpillCost;
+    TotalGC.Cycles += GC.Cycles;
+    TotalGC.AllocSeconds += GC.AllocSeconds;
+    TotalLS.Spills += LS.Spills;
+    TotalLS.SpillCost += LS.SpillCost;
+    TotalLS.Cycles += LS.Cycles;
+    TotalLS.AllocSeconds += LS.AllocSeconds;
+    ++Routines;
+  }
+
+  T.addSeparator();
+  T.addRow({"Total", Table::withCommas(TotalGC.Spills),
+            Table::withCommas(TotalLS.Spills),
+            Table::withCommas(int64_t(TotalGC.SpillCost)),
+            Table::withCommas(int64_t(TotalLS.SpillCost)),
+            Table::withCommas(TotalGC.Cycles),
+            Table::withCommas(TotalLS.Cycles),
+            Table::pctImprovement(double(TotalLS.Cycles),
+                                  double(TotalGC.Cycles)),
+            Table::fixed(TotalGC.AllocSeconds, 4),
+            Table::fixed(TotalLS.AllocSeconds, 4)});
+  T.print();
+
+  std::printf("\n'Cycle Pct.' is positive when graph coloring beats "
+              "linear scan on dynamic cycles (its code-quality edge); "
+              "the Alloc columns show linear scan's compile-time "
+              "edge.\n");
+
+  if (!JsonPath.empty()) {
+    BenchJson J("backend_compare");
+    J.set("routines", uint64_t(Routines));
+    J.set("graph-coloring.spills", uint64_t(TotalGC.Spills));
+    J.set("graph-coloring.spill_cost", TotalGC.SpillCost);
+    J.set("graph-coloring.cycles", TotalGC.Cycles);
+    J.set("graph-coloring.alloc_seconds", TotalGC.AllocSeconds);
+    J.set("linear-scan.spills", uint64_t(TotalLS.Spills));
+    J.set("linear-scan.spill_cost", TotalLS.SpillCost);
+    J.set("linear-scan.cycles", TotalLS.Cycles);
+    J.set("linear-scan.alloc_seconds", TotalLS.AllocSeconds);
+    if (!J.writeMerged(JsonPath))
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Regenerates every reproduced table/figure (see EXPERIMENTS.md) and the
 # BENCH_allocator.json perf telemetry each binary merges its section into.
+# That includes backend_compare's per-backend entries (graph-coloring.*
+# and linear-scan.* under the backend_compare section), which double as
+# a coloring-vs-linear-scan differential check.
 #
 #   usage: run_benches.sh [BUILD_DIR]    (default: build)
 #

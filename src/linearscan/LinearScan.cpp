@@ -1,0 +1,217 @@
+//===- linearscan/LinearScan.cpp - Interval register walk -----------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "linearscan/LinearScan.h"
+
+#include "regalloc/InterferenceGraph.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+
+using namespace ra;
+
+namespace {
+
+/// Walks the intervals of one register class over a file of K registers.
+class ClassWalker {
+public:
+  ClassWalker(const std::vector<LiveInterval> &All, unsigned K,
+              ScanResult &Out)
+      : All(All), K(K), Out(Out) {}
+
+  void run(RegClass RC) {
+    // Start-ordered worklist of this class's non-empty intervals.
+    std::vector<uint32_t> Order;
+    for (uint32_t I = 0; I < All.size(); ++I)
+      if (All[I].Class == RC && !All[I].empty())
+        Order.push_back(I);
+    std::sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+      if (All[A].start() != All[B].start())
+        return All[A].start() < All[B].start();
+      return All[A].Reg < All[B].Reg; // the paper's footnote-4 tiebreak
+    });
+    Out.LiveRanges += Order.size();
+
+    for (uint32_t Cur : Order) {
+      SlotIndex Pos = All[Cur].start();
+      retire(Pos);
+      int32_t Reg = pickFree(Cur);
+      if (Reg < 0)
+        Reg = evictOrSpill(Cur);
+      if (Reg >= 0) {
+        Out.ColorOf[All[Cur].Reg] = Reg;
+        Active.push_back({Cur, uint32_t(Reg)});
+      }
+    }
+  }
+
+private:
+  struct Assigned {
+    uint32_t Interval;
+    uint32_t Reg;
+  };
+
+  /// Drops assignments whose interval ended before \p Pos and moves the
+  /// rest between the active (covers Pos) and inactive (in a hole at
+  /// Pos) sets.
+  void retire(SlotIndex Pos) {
+    auto Sweep = [&](std::vector<Assigned> &From, std::vector<Assigned> &To,
+                     bool WantCovered) {
+      for (size_t I = 0; I < From.size();) {
+        const LiveInterval &LI = All[From[I].Interval];
+        if (LI.stop() <= Pos) {
+          From[I] = From.back();
+          From.pop_back();
+        } else if (LI.covers(Pos) == WantCovered) {
+          ++I;
+        } else {
+          To.push_back(From[I]);
+          From[I] = From.back();
+          From.pop_back();
+        }
+      }
+    };
+    Sweep(Active, Inactive, /*WantCovered=*/true);
+    Sweep(Inactive, Active, /*WantCovered=*/false);
+  }
+
+  /// Lowest-numbered register not blocked for \p Cur: not held by any
+  /// active interval, nor by an inactive interval \p Cur overlaps.
+  int32_t pickFree(uint32_t Cur) {
+    std::vector<bool> Blocked(K, false);
+    for (const Assigned &A : Active)
+      Blocked[A.Reg] = true;
+    for (const Assigned &A : Inactive)
+      if (!Blocked[A.Reg] && All[A.Interval].overlaps(All[Cur]))
+        Blocked[A.Reg] = true;
+    for (unsigned R = 0; R < K; ++R)
+      if (!Blocked[R])
+        return int32_t(R);
+    return -1;
+  }
+
+  /// No register is free for \p Cur: either spill \p Cur, or evict every
+  /// conflicting holder of the register whose conflicting holders are
+  /// cheapest to spill — whichever side of the comparison costs less.
+  /// Returns the register granted to \p Cur, or -1 when \p Cur spills.
+  int32_t evictOrSpill(uint32_t Cur) {
+    std::vector<double> Weight(K, 0);
+    for (const Assigned &A : Active)
+      Weight[A.Reg] += All[A.Interval].Cost;
+    for (const Assigned &A : Inactive)
+      if (All[A.Interval].overlaps(All[Cur]))
+        Weight[A.Reg] += All[A.Interval].Cost;
+
+    unsigned Best = 0;
+    for (unsigned R = 1; R < K; ++R)
+      if (Weight[R] < Weight[Best])
+        Best = R;
+
+    if (All[Cur].Cost <= Weight[Best]) {
+      if (All[Cur].Cost >= InterferenceGraph::InfiniteCost)
+        return breakProtectedDeadlock(Cur);
+      spill(Cur);
+      return -1;
+    }
+    evictRegister(Best, Cur);
+    return int32_t(Best);
+  }
+
+  /// Spills every holder of \p Reg that conflicts with \p Cur, freeing
+  /// the register for it.
+  void evictRegister(unsigned Reg, uint32_t Cur) {
+    auto EvictFrom = [&](std::vector<Assigned> &Set) {
+      for (size_t I = 0; I < Set.size();) {
+        if (Set[I].Reg == Reg &&
+            All[Set[I].Interval].overlaps(All[Cur])) {
+          spill(Set[I].Interval);
+          Set[I] = Set.back();
+          Set.pop_back();
+        } else {
+          ++I;
+        }
+      }
+    };
+    EvictFrom(Active);
+    EvictFrom(Inactive);
+  }
+
+  /// \p Cur is protected (infinite cost — a spill temporary or a range
+  /// coalescing merged with one) and so is some holder of every
+  /// register. Something protected has to be re-spilled, and the choice
+  /// decides convergence: re-spilling a minimal temporary regenerates
+  /// byte-identical load/store code and the conflict forever, while
+  /// re-spilling a *wide* protected interval — a coalesce-merged range
+  /// whose occurrences span many instructions — rewrites it into
+  /// minimal per-occurrence temporaries and frees its register across
+  /// the whole span. Evict the register holding the widest conflicting
+  /// interval, unless \p Cur itself is at least as wide (then spilling
+  /// \p Cur is the productive move). The decision depends only on
+  /// interval content (widest extent, then lowest register index), not
+  /// on the sets' internal ordering, so results stay deterministic.
+  int32_t breakProtectedDeadlock(uint32_t Cur) {
+    const SlotIndex CurExtent = All[Cur].stop() - All[Cur].start();
+    bool Found = false;
+    unsigned BestReg = 0;
+    SlotIndex BestExtent = 0;
+    auto Consider = [&](const Assigned &A) {
+      if (!All[A.Interval].overlaps(All[Cur]))
+        return;
+      SlotIndex E = All[A.Interval].stop() - All[A.Interval].start();
+      if (!Found || E > BestExtent ||
+          (E == BestExtent && A.Reg < BestReg)) {
+        Found = true;
+        BestExtent = E;
+        BestReg = A.Reg;
+      }
+    };
+    for (const Assigned &A : Active)
+      Consider(A);
+    for (const Assigned &A : Inactive)
+      Consider(A);
+
+    if (!Found || BestExtent <= CurExtent) {
+      spill(Cur);
+      return -1;
+    }
+    evictRegister(BestReg, Cur);
+    return int32_t(BestReg);
+  }
+
+  void spill(uint32_t Interval) {
+    const LiveInterval &LI = All[Interval];
+    Out.ColorOf[LI.Reg] = -1;
+    Out.Spilled.push_back(LI.Reg);
+    Out.SpilledCost += LI.Cost;
+  }
+
+  const std::vector<LiveInterval> &All;
+  unsigned K;
+  ScanResult &Out;
+  std::vector<Assigned> Active, Inactive;
+};
+
+} // namespace
+
+ScanResult ra::scanIntervals(const LiveIntervals &LI,
+                             const MachineInfo &Machine) {
+  ScanResult Out;
+  Out.ColorOf.assign(LI.numIntervals(), -1);
+  Timer Walk;
+  Walk.start();
+  RA_TRACE_SPAN("IntervalWalk", "linearscan", [&] {
+    return "intervals=" + std::to_string(LI.numIntervals());
+  });
+  for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls) {
+    RegClass RC = RegClass(Cls);
+    ClassWalker W(LI.intervals(), Machine.numRegs(RC), Out);
+    W.run(RC);
+  }
+  Walk.stop();
+  Out.WalkSeconds = Walk.seconds();
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===- linearscan/LinearScan.h - Interval register walk --------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One pass of linear-scan allocation over live intervals: intervals
+/// are visited in start order; each is given a free register when one
+/// exists, and otherwise the cheapest conflicting assignment is evicted
+/// — or the current interval itself is spilled when it is the cheapest
+/// thing at its own start point ("spill at the interval heart"). The
+/// eviction weights are the same loop-weighted SpillCost estimates the
+/// coloring backends feed Chaitin's cost/degree metric, so the two
+/// families rank spill candidates with one model.
+///
+/// Intervals with holes are tracked through an *inactive* set: an
+/// interval whose lifetime has started but that does not cover the
+/// current position blocks a register only for intervals it actually
+/// overlaps, so lifetime-disjoint intervals share registers across
+/// holes.
+///
+/// A pass never inserts spill code; the driver (LinearScanAlloc.cpp)
+/// inserts it for the reported spill set and re-runs, exactly like the
+/// coloring backends' Build-Simplify-Color cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_LINEARSCAN_LINEARSCAN_H
+#define RA_LINEARSCAN_LINEARSCAN_H
+
+#include "linearscan/LiveInterval.h"
+#include "target/MachineInfo.h"
+
+#include <vector>
+
+namespace ra {
+
+/// Outcome of one interval walk over both register classes.
+struct ScanResult {
+  /// Physical register per vreg, or -1 (spilled this pass / empty
+  /// interval).
+  std::vector<int32_t> ColorOf;
+
+  /// Vregs chosen for spilling, in decision order.
+  std::vector<VRegId> Spilled;
+
+  /// Sum of LiveInterval::Cost over Spilled.
+  double SpilledCost = 0;
+
+  /// Intervals with at least one segment (live ranges seen).
+  unsigned LiveRanges = 0;
+
+  /// Wall-clock seconds spent walking intervals (the backend's analogue
+  /// of the coloring select phase).
+  double WalkSeconds = 0;
+
+  bool success() const { return Spilled.empty(); }
+};
+
+/// Runs one linear-scan pass over \p LI for the register files of
+/// \p Machine. Interval costs must already be set (LiveIntervals::
+/// setCosts). Deterministic: intervals are visited in (start, vreg)
+/// order and ties in eviction weight break toward the lowest register
+/// index.
+ScanResult scanIntervals(const LiveIntervals &LI, const MachineInfo &Machine);
+
+} // namespace ra
+
+#endif // RA_LINEARSCAN_LINEARSCAN_H

@@ -1,0 +1,188 @@
+//===- linearscan/LinearScanAlloc.cpp - Linear-scan driver ----------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The linear-scan analogue of Allocator.cpp's runColoringPasses: the
+// same renumber/coalesce/spill-cost front end and the same spill-code
+// back end, with the build-simplify-select middle replaced by interval
+// construction plus one start-ordered walk. Because spill temporaries
+// carry an infinite cost estimate, the walk never evicts them, and —
+// as in the coloring backends — the worst-case pressure after spilling
+// everything is the operand count of one instruction, so the cycle
+// converges for every register file the tools accept.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linearscan/LinearScanAlloc.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Renumber.h"
+#include "linearscan/LinearScan.h"
+#include "regalloc/SpillCost.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+
+using namespace ra;
+
+namespace {
+
+/// Copies a register across the first pair of overlapping same-class
+/// colored intervals (or, when no interval overlaps another, pushes one
+/// assignment outside the register file). The audit must catch either —
+/// the linear-scan twin of the coloring backends' fault injection.
+void injectMiscoloring(const LiveIntervals &LI, const MachineInfo &Machine,
+                       AllocationResult &Result) {
+  const std::vector<LiveInterval> &All = LI.intervals();
+  for (uint32_t A = 0; A < All.size(); ++A) {
+    if (All[A].empty() || Result.ColorOf[All[A].Reg] < 0)
+      continue;
+    for (uint32_t B = A + 1; B < All.size(); ++B) {
+      if (All[B].Class != All[A].Class || All[B].empty() ||
+          Result.ColorOf[All[B].Reg] < 0)
+        continue;
+      if (All[A].overlaps(All[B])) {
+        Result.ColorOf[All[A].Reg] = Result.ColorOf[All[B].Reg];
+        return;
+      }
+    }
+  }
+  for (const LiveInterval &I : All)
+    if (!I.empty() && Result.ColorOf[I.Reg] >= 0) {
+      Result.ColorOf[I.Reg] = int32_t(Machine.numRegs(I.Class));
+      return;
+    }
+}
+
+/// One metrics row for interval \p I. Linear scan never builds the
+/// interference graph, so Degree is 0 and CostPerDegree follows the
+/// table's degree-0 convention (== Cost).
+RangeMetrics intervalRow(const Function &F, const LiveInterval &I,
+                         unsigned Pass, const std::vector<double> &Area,
+                         const std::vector<unsigned> &DepthOf,
+                         RangeMetrics::Decision D, int32_t Color) {
+  RangeMetrics RM;
+  RM.Name = F.vreg(I.Reg).Name;
+  RM.Pass = Pass;
+  RM.Class = I.Class;
+  RM.Degree = 0;
+  RM.Area = Area[I.Reg];
+  RM.Cost = I.Cost;
+  RM.CostPerDegree = I.Cost;
+  RM.LoopDepth = DepthOf[I.Reg];
+  RM.D = D;
+  RM.Color = Color;
+  return RM;
+}
+
+} // namespace
+
+AllocationResult ra::runLinearScanPasses(Function &F,
+                                         const AllocatorConfig &C,
+                                         const CFG &G,
+                                         const LoopInfo &Loops) {
+  AllocationResult Result;
+  Result.Machine = C.Machine;
+
+  for (unsigned Pass = 0; Pass < C.MaxPasses; ++Pass) {
+    PassRecord Rec;
+    RA_TRACE_SPAN("Pass", "linearscan",
+                  [&] { return "pass=" + std::to_string(Pass); });
+
+    //===----------------------------------------------------------===//
+    // Build: renumber, coalesce, number slots, intervals, costs.
+    //===----------------------------------------------------------===//
+    Timer BuildTimer;
+    RA_TRACE_SPAN_NAMED(BuildSpan, "Build", "linearscan");
+    BuildTimer.start();
+    {
+      RA_TRACE_SPAN("Renumber", "linearscan");
+      renumberLiveRanges(F, G);
+    }
+    if (C.Coalesce) {
+      CoalesceStats CS = coalesceAll(F, G, C.Coalescing, C.Machine);
+      Result.Stats.CopiesCoalesced += CS.CopiesRemoved;
+      if (C.CollectMetrics)
+        for (const CoalescedCopy &CC : CS.Merges) {
+          RangeMetrics RM;
+          RM.Name = CC.Merged;
+          RM.Pass = Pass;
+          RM.Class = CC.Class;
+          RM.D = RangeMetrics::Decision::Coalesced;
+          RM.CoalescedInto = CC.Into;
+          Result.Metrics.push_back(std::move(RM));
+        }
+      if (CS.CopiesRemoved != 0)
+        renumberLiveRanges(F, G); // compact ids merged away
+    }
+    Liveness LV = Liveness::compute(F, G);
+    InstrNumbering Num = InstrNumbering::compute(F);
+    LiveIntervals LI = LiveIntervals::compute(F, LV, Num);
+    std::vector<double> Costs = computeSpillCosts(F, Loops, C.Costs);
+    LI.setCosts(Costs);
+    std::vector<double> Area;
+    std::vector<unsigned> DepthOf;
+    if (C.CollectMetrics)
+      computeAreaAndDepth(F, Loops, LV, Area, DepthOf);
+    BuildTimer.stop();
+    Rec.BuildSeconds = BuildTimer.seconds();
+    BuildSpan.close();
+
+    //===----------------------------------------------------------===//
+    // Scan: one start-ordered walk decides every interval. The walk
+    // time lands in the record's select column (the decision phase);
+    // linear scan has no simplify analogue.
+    //===----------------------------------------------------------===//
+    ScanResult Scan = scanIntervals(LI, C.Machine);
+    Rec.LiveRanges = Scan.LiveRanges;
+    Rec.SelectSeconds = Scan.WalkSeconds;
+    Rec.SpilledLiveRanges = Scan.Spilled.size();
+    Rec.SpilledCost = Scan.SpilledCost;
+    for (VRegId R : Scan.Spilled)
+      Rec.SpilledNames.push_back(F.vreg(R).Name);
+    if (C.CollectMetrics)
+      for (VRegId R : Scan.Spilled)
+        Result.Metrics.push_back(
+            intervalRow(F, LI.interval(R), Pass, Area, DepthOf,
+                        RangeMetrics::Decision::Spilled, /*Color=*/-1));
+
+    if (Scan.success()) {
+      Result.ColorOf = std::move(Scan.ColorOf);
+      if (C.CollectMetrics)
+        for (const LiveInterval &I : LI.intervals())
+          if (!I.empty())
+            Result.Metrics.push_back(
+                intervalRow(F, I, Pass, Area, DepthOf,
+                            RangeMetrics::Decision::Colored,
+                            Result.ColorOf[I.Reg]));
+      if (C.FaultInject.Miscolor)
+        injectMiscoloring(LI, C.Machine, Result);
+      Result.Stats.Passes.push_back(std::move(Rec));
+      Result.Success = true;
+      Result.Outcome = AllocOutcome::Converged;
+      return Result;
+    }
+
+    //===----------------------------------------------------------===//
+    // Spill: same inserter as the coloring backends, then rescan.
+    //===----------------------------------------------------------===//
+    Timer SpillTimer;
+    SpillTimer.start();
+    SpillCodeStats SC = insertSpillCode(F, Scan.Spilled, C.Rematerialize);
+    SpillTimer.stop();
+    Rec.SpillSeconds = SpillTimer.seconds();
+    Result.Stats.SpillCode.Loads += SC.Loads;
+    Result.Stats.SpillCode.Stores += SC.Stores;
+    Result.Stats.SpillCode.Remats += SC.Remats;
+    Result.Stats.Passes.push_back(std::move(Rec));
+  }
+
+  Result.Success = false;
+  Result.Outcome = AllocOutcome::Failed;
+  Result.Diag = Status::error(StatusCode::NonConvergence,
+                              "no linear-scan allocation after " +
+                                  std::to_string(C.MaxPasses) + " passes");
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===- linearscan/LinearScanAlloc.h - Linear-scan backend ------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear-scan allocation backend: renumber -> [coalesce -> number
+/// instructions -> build live intervals -> scan -> insert spill code]*
+/// until a scan spills nothing. Structurally the same driver cycle as
+/// the coloring backends' Figure 4 loop — the spill-code inserter, the
+/// spill-cost model, and the renumbering pass are shared — only the
+/// middle (interval walk instead of build-simplify-select) differs,
+/// which is what keeps AllocationResult, the post-allocation audit, and
+/// the degradation ladder backend-agnostic.
+///
+/// Callers go through allocateRegisters (regalloc/Allocator.h) with
+/// AllocatorConfig::B == Backend::LinearScan; this header exists for
+/// the dispatch layer and for focused tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_LINEARSCAN_LINEARSCANALLOC_H
+#define RA_LINEARSCAN_LINEARSCANALLOC_H
+
+#include "regalloc/Allocator.h"
+
+namespace ra {
+
+class CFG;
+class LoopInfo;
+
+/// Runs the multi-pass linear-scan primary allocation on \p F. Performs
+/// no auditing and no fallback — allocateRegisters layers the ladder on
+/// top, identically for every backend.
+AllocationResult runLinearScanPasses(Function &F, const AllocatorConfig &C,
+                                     const CFG &G, const LoopInfo &Loops);
+
+} // namespace ra
+
+#endif // RA_LINEARSCAN_LINEARSCANALLOC_H

@@ -20,7 +20,9 @@
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/Renumber.h"
+#include "linearscan/LinearScanAlloc.h"
 #include "regalloc/AllocationAudit.h"
+#include "regalloc/Backend.h"
 #include "regalloc/BuildGraph.h"
 #include "regalloc/Coalesce.h"
 #include "regalloc/SpillCost.h"
@@ -50,6 +52,37 @@ const char *ra::allocOutcomeName(AllocOutcome O) {
   case AllocOutcome::Failed:    return "failed";
   }
   return "unknown";
+}
+
+const char *ra::backendName(Backend B) {
+  switch (B) {
+  case Backend::GraphColoring: return "graph-coloring";
+  case Backend::LinearScan:    return "linear-scan";
+  }
+  return "unknown";
+}
+
+const char *ra::allocatorName(Backend B, Heuristic H) {
+  return B == Backend::LinearScan ? "linear-scan" : heuristicName(H);
+}
+
+bool ra::parseAllocatorName(const std::string &Name, Backend &B,
+                            Heuristic &H) {
+  if (Name == "chaitin") {
+    B = Backend::GraphColoring;
+    H = Heuristic::Chaitin;
+  } else if (Name == "briggs") {
+    B = Backend::GraphColoring;
+    H = Heuristic::Briggs;
+  } else if (Name == "matula-beck") {
+    B = Backend::GraphColoring;
+    H = Heuristic::MatulaBeck;
+  } else if (Name == "linear-scan") {
+    B = Backend::LinearScan;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace {
@@ -122,13 +155,11 @@ void injectMiscoloring(const std::array<ClassGraph, NumRegClasses> &Graphs,
   }
 }
 
-/// Loop-weighted area and occurrence depth per vreg, for the metrics
-/// table: Area is the sum over instructions where the range is live of
-/// the enclosing loop weight (Chaitin's "area" feature); LoopDepth is
-/// the deepest loop containing a def or use.
-void computeAreaAndDepth(const Function &F, const LoopInfo &Loops,
-                         const Liveness &LV, std::vector<double> &Area,
-                         std::vector<unsigned> &DepthOf) {
+} // namespace
+
+void ra::computeAreaAndDepth(const Function &F, const LoopInfo &Loops,
+                             const Liveness &LV, std::vector<double> &Area,
+                             std::vector<unsigned> &DepthOf) {
   Area.assign(F.numVRegs(), 0);
   DepthOf.assign(F.numVRegs(), 0);
   for (const BasicBlock &B : F.blocks()) {
@@ -149,6 +180,8 @@ void computeAreaAndDepth(const Function &F, const LoopInfo &Loops,
     }
   }
 }
+
+namespace {
 
 /// One metrics row for graph node \p Node of \p CG.
 RangeMetrics rangeRow(const Function &F, const ClassGraph &CG,
@@ -344,13 +377,47 @@ AllocationResult spillEverything(Function &F, const AllocatorConfig &C,
   insertSpillCode(F, All, /*Rematerialize=*/false);
 
   AllocatorConfig FallbackC = C;
+  // The bottom rung always colors, whatever backend just failed: the
+  // residual graph is tiny and the coloring cycle is the most
+  // battle-tested path through the allocator.
+  FallbackC.B = Backend::GraphColoring;
   FallbackC.Coalesce = false; // no copies worth merging among temporaries
   FallbackC.FaultInject = {}; // the fallback must stay unbroken
   FallbackC.MaxPasses = 8;
   return runColoringPasses(F, FallbackC, G, Loops);
 }
 
+/// Backend.h's engine for Backend::GraphColoring.
+class GraphColoringBackend final : public AllocatorBackend {
+public:
+  const char *name() const override { return "graph-coloring"; }
+  AllocationResult runPasses(Function &F, const AllocatorConfig &C,
+                             const CFG &G,
+                             const LoopInfo &Loops) const override {
+    return runColoringPasses(F, C, G, Loops);
+  }
+};
+
+/// Backend.h's engine for Backend::LinearScan.
+class LinearScanBackend final : public AllocatorBackend {
+public:
+  const char *name() const override { return "linear-scan"; }
+  AllocationResult runPasses(Function &F, const AllocatorConfig &C,
+                             const CFG &G,
+                             const LoopInfo &Loops) const override {
+    return runLinearScanPasses(F, C, G, Loops);
+  }
+};
+
 } // namespace
+
+const AllocatorBackend &ra::backendFor(Backend B) {
+  static const GraphColoringBackend Coloring;
+  static const LinearScanBackend Scan;
+  return B == Backend::LinearScan
+             ? static_cast<const AllocatorBackend &>(Scan)
+             : static_cast<const AllocatorBackend &>(Coloring);
+}
 
 AllocationResult ra::allocateRegisters(Function &F,
                                        const AllocatorConfig &C) {
@@ -361,7 +428,11 @@ AllocationResult ra::allocateRegisters(Function &F,
 
   RA_TRACE_CONTEXT([&] { return "@" + F.name(); });
   RA_TRACE_SPAN("AllocateFunction", "regalloc", [&] {
-    return std::string("heuristic=") + heuristicName(C.H);
+    // Keep the historical heuristic=... spelling for graph coloring —
+    // trace goldens pin it — and name the backend otherwise.
+    return C.B == Backend::GraphColoring
+               ? std::string("heuristic=") + heuristicName(C.H)
+               : std::string("allocator=") + allocatorName(C.B, C.H);
   });
 
   AllocationResult Result;
@@ -384,7 +455,7 @@ AllocationResult ra::allocateRegisters(Function &F,
     Result.Diag = Status::error(StatusCode::NonConvergence,
                                 "fault injection: forced non-convergence");
   } else {
-    Result = runColoringPasses(F, C, G, Loops);
+    Result = backendFor(C.B).runPasses(F, C, G, Loops);
   }
 
   if (Result.Success) {

@@ -38,6 +38,31 @@ namespace ra {
 /// so CI can run whole existing suites with auditing forced on.
 bool auditEnabledByEnv();
 
+/// Which engine produces the primary allocation. Everything around the
+/// engine — validation, audit, spill-everything degradation — is shared
+/// and backend-agnostic (see regalloc/Backend.h).
+enum class Backend : uint8_t {
+  /// The paper's Build-Simplify-Color cycle; AllocatorConfig::H picks
+  /// the simplify/select heuristic (Chaitin, Briggs, Matula-Beck).
+  GraphColoring,
+  /// Start-ordered walk over live intervals with holes (linearscan/).
+  /// AllocatorConfig::H is ignored.
+  LinearScan,
+};
+
+/// Printable backend name ("graph-coloring", "linear-scan").
+const char *backendName(Backend B);
+
+/// The canonical --allocator spelling of a configuration: the heuristic
+/// name for graph coloring ("chaitin", "briggs", "matula-beck"),
+/// "linear-scan" otherwise.
+const char *allocatorName(Backend B, Heuristic H);
+
+/// Parses an --allocator value into a backend/heuristic pair. Accepts
+/// exactly the spellings allocatorName produces; returns false (leaving
+/// \p B and \p H untouched) for anything else.
+bool parseAllocatorName(const std::string &Name, Backend &B, Heuristic &H);
+
 /// Test-only fault injection: deliberately break the allocator so the
 /// audit + spill-everything degradation path is provably exercised.
 struct FaultInjectOptions {
@@ -57,6 +82,12 @@ struct FaultInjectOptions {
 
 /// Tuning knobs for one allocation run.
 struct AllocatorConfig {
+  /// Allocation engine for the primary allocation. The spill-everything
+  /// fallback always runs graph coloring — the bottom rung of the
+  /// degradation ladder stays on the most battle-tested engine.
+  Backend B = Backend::GraphColoring;
+  /// Simplify/select policy for the GraphColoring backend (and for the
+  /// fallback's residual coloring under any backend).
   Heuristic H = Heuristic::Briggs;
   MachineInfo Machine = MachineInfo::rtpc();
   CostModel Costs = CostModel::rtpc();
@@ -180,6 +211,17 @@ struct RangeMetrics {
 
 /// Printable decision name ("colored", "spilled", "coalesced").
 const char *rangeDecisionName(RangeMetrics::Decision D);
+
+class Liveness;
+class LoopInfo;
+
+/// Loop-weighted area (sum over instructions where the range is live of
+/// 10^depth — Chaitin's "area" feature) and deepest-occurrence loop
+/// depth, per vreg. The backend-independent feature columns of the
+/// metrics table; both backends fill their rows from it.
+void computeAreaAndDepth(const Function &F, const LoopInfo &Loops,
+                         const Liveness &LV, std::vector<double> &Area,
+                         std::vector<unsigned> &DepthOf);
 
 /// Header line of the metrics CSV dump (matches appendMetricsCsv).
 std::string metricsCsvHeader();

@@ -1,0 +1,60 @@
+//===- regalloc/Backend.h - Pluggable allocation backends ------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seam between the backend-agnostic allocation pipeline and the
+/// engines that produce a primary allocation. allocateRegisters owns
+/// everything around the engine — input validation, flow analyses, the
+/// post-allocation audit, and the spill-everything degradation ladder —
+/// and delegates only the renumber/analyze/assign/spill cycle to an
+/// AllocatorBackend. Both engines mutate the function through the same
+/// shared passes (Renumber, Coalesce, SpillCost, SpillInserter), so
+/// their results are directly comparable and every existing oracle
+/// (AllocationAudit, the simulator differential in ralfuzz, the bench
+/// telemetry) applies to any backend unchanged.
+///
+/// The backend selector (Backend) and its name helpers live in
+/// Allocator.h next to AllocatorConfig; this header adds the virtual
+/// interface and the registry for code that needs to enumerate or
+/// invoke backends directly (the dispatch layer, focused tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_REGALLOC_BACKEND_H
+#define RA_REGALLOC_BACKEND_H
+
+#include "regalloc/Allocator.h"
+
+namespace ra {
+
+class CFG;
+class LoopInfo;
+
+/// One allocation engine. Implementations are stateless singletons —
+/// per-run state belongs in the AllocationResult.
+class AllocatorBackend {
+public:
+  virtual ~AllocatorBackend() = default;
+
+  /// Stable identifier ("graph-coloring", "linear-scan").
+  virtual const char *name() const = 0;
+
+  /// Runs the primary allocation cycle on \p F until it converges or
+  /// C.MaxPasses is exhausted. Must not audit and must not fall back:
+  /// allocateRegisters layers the degradation ladder on top, so every
+  /// backend fails (and degrades) through the same path.
+  virtual AllocationResult runPasses(Function &F, const AllocatorConfig &C,
+                                     const CFG &G,
+                                     const LoopInfo &Loops) const = 0;
+};
+
+/// The engine implementing \p B. Returned references are to immortal
+/// singletons.
+const AllocatorBackend &backendFor(Backend B);
+
+} // namespace ra
+
+#endif // RA_REGALLOC_BACKEND_H

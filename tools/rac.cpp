@@ -8,7 +8,11 @@
 //
 //   rac FILE.ral... [options]
 //
-//   --heuristic chaitin|briggs|matula-beck   coloring policy (briggs)
+//   --allocator chaitin|briggs|matula-beck|linear-scan
+//                        allocation backend (briggs): the three coloring
+//                        heuristics, or the linear-scan interval walker
+//   --heuristic NAME     deprecated alias for --allocator (coloring
+//                        spellings only)
 //   --int K / --flt K    register file sizes (16 / 8)
 //   --jobs N             allocate functions on N pool workers
 //                        (0 = one per hardware thread; output is
@@ -54,10 +58,16 @@ namespace {
 void usage(const char *Prog) {
   std::fprintf(
       stderr,
-      "usage: %s FILE.ral... [--heuristic chaitin|briggs|matula-beck]\n"
+      "usage: %s FILE.ral... "
+      "[--allocator chaitin|briggs|matula-beck|linear-scan]\n"
       "       [--int K] [--flt K] [--jobs N] [--no-opt] [--remat]\n"
       "       [--audit] [--no-audit] [--print] [--run] [--quiet]\n"
-      "       [--bench-json FILE] [--trace FILE] [--metrics FILE]\n",
+      "       [--bench-json FILE] [--trace FILE] [--metrics FILE]\n"
+      "\n"
+      "  --allocator picks the allocation backend: one of the paper's\n"
+      "  coloring heuristics (chaitin, briggs, matula-beck) or the\n"
+      "  linear-scan interval allocator (linear-scan).\n"
+      "  --heuristic NAME is a deprecated alias for --allocator.\n",
       Prog);
 }
 
@@ -67,6 +77,7 @@ void report(const std::string &Path, const Status &S) {
 }
 
 struct Options {
+  Backend B = Backend::GraphColoring;
   Heuristic H = Heuristic::Briggs;
   unsigned IntK = 16, FltK = 8, Jobs = 1;
   bool Optimize = true, Remat = false, Audit = true;
@@ -110,6 +121,7 @@ Status processFile(const std::string &Path, const Options &Opt,
       optimizeFunction(M.function(FI));
 
   AllocatorConfig C;
+  C.B = Opt.B;
   C.H = Opt.H;
   C.Machine = MachineInfo(Opt.IntK, Opt.FltK);
   C.Rematerialize = Opt.Remat;
@@ -179,8 +191,9 @@ Status processFile(const std::string &Path, const Options &Opt,
   }
 
   if (!Opt.Quiet) {
-    std::printf("%s: %s heuristic, %u int / %u flt registers%s%s%s\n",
-                Path.c_str(), heuristicName(Opt.H), Opt.IntK, Opt.FltK,
+    std::printf("%s: %s allocator, %u int / %u flt registers%s%s%s\n",
+                Path.c_str(), allocatorName(Opt.B, Opt.H), Opt.IntK,
+                Opt.FltK,
                 Opt.Optimize ? ", optimized" : "",
                 Opt.Remat ? ", rematerialization" : "",
                 Opt.Audit ? ", audited" : "");
@@ -210,16 +223,19 @@ int main(int Argc, char **Argv) {
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--heuristic" && I + 1 < Argc) {
+    if ((Arg == "--allocator" || Arg == "--heuristic") && I + 1 < Argc) {
+      // --heuristic predates the backend split and stays as an alias so
+      // existing scripts keep working; --allocator is the spelling the
+      // help text advertises.
       std::string Name = Argv[++I];
-      if (Name == "chaitin")
-        Opt.H = Heuristic::Chaitin;
-      else if (Name == "briggs")
-        Opt.H = Heuristic::Briggs;
-      else if (Name == "matula-beck")
-        Opt.H = Heuristic::MatulaBeck;
-      else {
-        std::fprintf(stderr, "unknown heuristic '%s'\n", Name.c_str());
+      if (!parseAllocatorName(Name, Opt.B, Opt.H)) {
+        Status S =
+            Status::error(StatusCode::InvalidInput,
+                          "unknown allocator '" + Name +
+                              "' (expected chaitin, briggs, "
+                              "matula-beck, or linear-scan)")
+                .addContext(Arg);
+        std::fprintf(stderr, "rac: %s\n", S.toString().c_str());
         return 1;
       }
     } else if (Arg == "--int" && I + 1 < Argc) {
@@ -309,6 +325,8 @@ int main(int Argc, char **Argv) {
 
   if (!JsonPath.empty()) {
     BenchJson J("rac");
+    J.set("allocator", std::string(allocatorName(Opt.B, Opt.H)));
+    J.set("backend", std::string(backendName(Opt.B)));
     J.set("heuristic", std::string(heuristicName(Opt.H)));
     J.set("jobs", Opt.Jobs);
     J.set("functions", T.Functions);

@@ -7,24 +7,34 @@
 // Seeded fuzzer for the whole allocation pipeline. Each seed derives a
 // random-program shape and a register-file size, generates a
 // verifier-clean module, records a pre-allocation golden run, then
-// allocates under both of the paper's heuristics and checks the result
-// three independent ways:
+// allocates under every configured allocator — both of the paper's
+// coloring heuristics and the linear-scan backend — and checks each
+// result three independent ways:
 //
 //   1. the post-allocation audit (AllocationAudit.h) re-proves the
-//      coloring from scratch;
+//      assignment from scratch;
 //   2. the IR verifier accepts the rewritten function;
 //   3. the simulator is a differential oracle: the allocated run must
 //      reproduce the golden run's memory image and return values.
+//
+// On top of the per-allocator checks, the allocators are differential
+// oracles for *each other*: every pair of allocated runs must agree on
+// memory image and return values. A divergence names the disagreeing
+// pair in the failure line and the reproducer.
 //
 // On the first failure the program shape is shrunk while the failure
 // still reproduces, a parseable .ral reproducer (with the seed and
 // config in header comments) is dumped, and the tool exits 1.
 //
-//   ralfuzz [--seeds N] [--start S] [--audit|--no-audit]
-//           [--fault-inject] [--out FILE] [--emit-corpus DIR] [--quiet]
+//   ralfuzz [--seeds N] [--start S] [--allocators A,B,...]
+//           [--audit|--no-audit] [--fault-inject] [--out FILE]
+//           [--emit-corpus DIR] [--quiet]
 //
 //   --seeds N       number of seeds to run (default 1000)
 //   --start S       first seed (default 0)
+//   --allocators L  comma-separated allocator list (chaitin, briggs,
+//                   matula-beck, linear-scan); default
+//                   chaitin,briggs,linear-scan
 //   --audit         run the in-allocator audit too (default on)
 //   --no-audit      rely on this tool's external checks only
 //   --fault-inject  deliberately miscolor / fail convergence and demand
@@ -49,7 +59,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 using namespace ra;
 
@@ -62,6 +74,31 @@ struct FuzzCase {
   RandomProgramConfig Shape;
   bool Optimize = false;
   unsigned IntK = 16, FltK = 8;
+};
+
+/// One allocator under test: a backend plus (for graph coloring) its
+/// simplify/select heuristic.
+struct AllocatorChoice {
+  Backend B = Backend::GraphColoring;
+  Heuristic H = Heuristic::Briggs;
+
+  const char *name() const { return allocatorName(B, H); }
+};
+
+/// The allocators every seed runs by default: both of the paper's
+/// heuristics plus the linear-scan backend, so coloring-vs-coloring and
+/// coloring-vs-linear-scan differentials are both always live.
+std::vector<AllocatorChoice> defaultAllocators() {
+  return {{Backend::GraphColoring, Heuristic::Chaitin},
+          {Backend::GraphColoring, Heuristic::Briggs},
+          {Backend::LinearScan, Heuristic::Briggs}};
+}
+
+/// The observable outcome of one allocated run, kept for cross-allocator
+/// comparison.
+struct CapturedRun {
+  std::optional<MemoryImage> Mem;
+  ExecutionResult R;
 };
 
 const unsigned IntSizes[] = {4, 8, 16};
@@ -86,12 +123,15 @@ FuzzCase deriveCase(uint64_t Seed) {
   return FC;
 }
 
-/// Runs one (case, heuristic) trial. Returns true when every check
-/// passes; otherwise fills \p Failure with a one-line diagnosis.
-bool runOne(const FuzzCase &FC, Heuristic H, bool Audit, bool FaultInject,
-            std::string &Failure) {
+/// Runs one (case, allocator) trial. Returns true when every check
+/// passes; otherwise fills \p Failure with a one-line diagnosis. On
+/// success, \p Cap (when non-null) receives the allocated run's memory
+/// image and return values for cross-allocator comparison.
+bool runOne(const FuzzCase &FC, AllocatorChoice AC, bool Audit,
+            bool FaultInject, std::string &Failure,
+            CapturedRun *Cap = nullptr) {
   auto Fail = [&](std::string Msg) {
-    Failure = std::string(heuristicName(H)) + " int=" +
+    Failure = std::string(AC.name()) + " int=" +
               std::to_string(FC.IntK) + " flt=" + std::to_string(FC.FltK) +
               ": " + std::move(Msg);
     return false;
@@ -118,7 +158,8 @@ bool runOne(const FuzzCase &FC, Heuristic H, bool Audit, bool FaultInject,
     return Fail("golden (virtual) run trapped: " + Golden.Error);
 
   AllocatorConfig C;
-  C.H = H;
+  C.B = AC.B;
+  C.H = AC.H;
   C.Machine = MachineInfo(FC.IntK, FC.FltK);
   C.MaxPasses = 64; // Matula-Beck-style worst cases need headroom
   C.Audit = Audit || FaultInject; // injected faults must be caught
@@ -168,17 +209,74 @@ bool runOne(const FuzzCase &FC, Heuristic H, bool Audit, bool FaultInject,
     return Fail("float return diverged");
   if (!(Mem == GoldenMem))
     return Fail("memory image diverged after allocation");
+  if (Cap) {
+    Cap->Mem = std::move(Mem);
+    Cap->R = R;
+  }
+  return true;
+}
+
+/// Runs one seed through every allocator in \p Allocs, then compares
+/// the allocated runs pairwise — each allocator is a differential
+/// oracle for the others. Returns true when everything agrees;
+/// otherwise \p Failure names the failing allocator or the disagreeing
+/// pair.
+bool runSeed(const FuzzCase &FC, const std::vector<AllocatorChoice> &Allocs,
+             bool Audit, bool FaultInject, std::string &Failure,
+             uint64_t *Trials = nullptr) {
+  std::vector<CapturedRun> Runs(Allocs.size());
+  for (size_t I = 0; I < Allocs.size(); ++I) {
+    if (Trials)
+      ++*Trials;
+    if (!runOne(FC, Allocs[I], Audit, FaultInject, Failure, &Runs[I]))
+      return false;
+  }
+
+  // Cross-allocator differential: every pair must agree on memory and
+  // return values. (Each run already matched the virtual golden run, so
+  // a disagreement here means the goldens diverged too — checking
+  // pairwise keeps the oracle independent of that argument and names
+  // the exact pair in the failure.)
+  for (size_t I = 0; I < Allocs.size(); ++I)
+    for (size_t J = I + 1; J < Allocs.size(); ++J) {
+      auto Pair = [&] {
+        return std::string(Allocs[I].name()) + " vs " + Allocs[J].name() +
+               " int=" + std::to_string(FC.IntK) +
+               " flt=" + std::to_string(FC.FltK);
+      };
+      const CapturedRun &A = Runs[I], &B = Runs[J];
+      if (A.R.HasIntReturn != B.R.HasIntReturn ||
+          A.R.IntReturn != B.R.IntReturn) {
+        Failure = Pair() + ": int return diverged across backends (" +
+                  std::to_string(A.R.IntReturn) + " vs " +
+                  std::to_string(B.R.IntReturn) + ")";
+        return false;
+      }
+      if (A.R.HasFloatReturn != B.R.HasFloatReturn ||
+          !MemoryImage::doubleSemanticallyEqual(A.R.FloatReturn,
+                                                B.R.FloatReturn)) {
+        Failure = Pair() + ": float return diverged across backends";
+        return false;
+      }
+      if (!(*A.Mem == *B.Mem)) {
+        Failure = Pair() + ": memory image diverged across backends";
+        return false;
+      }
+    }
   return true;
 }
 
 /// Greedily shrinks the program shape while the failure reproduces.
 /// Each knob is walked down one notch at a time; one sweep that changes
-/// nothing ends the loop, so this terminates.
-FuzzCase minimizeCase(FuzzCase FC, Heuristic H, bool Audit, bool FaultInject,
-                      std::string &Failure) {
+/// nothing ends the loop, so this terminates. Minimization replays the
+/// whole allocator matrix, so a cross-backend divergence shrinks just
+/// like a single-allocator failure.
+FuzzCase minimizeCase(FuzzCase FC,
+                      const std::vector<AllocatorChoice> &Allocs,
+                      bool Audit, bool FaultInject, std::string &Failure) {
   auto StillFails = [&](const FuzzCase &Candidate) {
     std::string Msg;
-    if (runOne(Candidate, H, Audit, FaultInject, Msg))
+    if (runSeed(Candidate, Allocs, Audit, FaultInject, Msg))
       return false;
     Failure = Msg; // keep the message in sync with the shrunk case
     return true;
@@ -226,8 +324,11 @@ FuzzCase minimizeCase(FuzzCase FC, Heuristic H, bool Audit, bool FaultInject,
 }
 
 /// Writes a parseable .ral reproducer with the full recipe in comments.
+/// The failure line names the failing allocator (or disagreeing pair),
+/// and one replay line per allocator under test re-runs the matrix.
 bool dumpReproducer(const std::string &Path, const FuzzCase &FC,
-                    Heuristic H, const std::string &Failure) {
+                    const std::vector<AllocatorChoice> &Allocs,
+                    const std::string &Failure) {
   Module M;
   buildRandomProgram(M, FC.Seed, FC.Shape);
   std::ofstream Out(Path);
@@ -235,19 +336,19 @@ bool dumpReproducer(const std::string &Path, const FuzzCase &FC,
     return false;
   Out << "; ralfuzz reproducer (minimized)\n"
       << "; failure: " << Failure << "\n"
-      << "; seed=" << FC.Seed << " heuristic=" << heuristicName(H)
-      << " int=" << FC.IntK << " flt=" << FC.FltK
+      << "; seed=" << FC.Seed << " int=" << FC.IntK << " flt=" << FC.FltK
       << " optimize=" << (FC.Optimize ? 1 : 0) << "\n"
       << "; shape: depth=" << FC.Shape.MaxDepth
       << " stmts=" << FC.Shape.StatementsPerBlock
       << " regions=" << FC.Shape.Regions << " ivars=" << FC.Shape.IntVars
       << " fvars=" << FC.Shape.FloatVars
       << " arrays=" << FC.Shape.ArraySize
-      << " trip=" << FC.Shape.LoopTrip << "\n"
-      << "; replay: rac " << Path << " --heuristic " << heuristicName(H)
-      << " --int " << FC.IntK << " --flt " << FC.FltK << " --run"
-      << (FC.Optimize ? "" : " --no-opt") << "\n"
-      << printModule(M);
+      << " trip=" << FC.Shape.LoopTrip << "\n";
+  for (const AllocatorChoice &AC : Allocs)
+    Out << "; replay: rac " << Path << " --allocator " << AC.name()
+        << " --int " << FC.IntK << " --flt " << FC.FltK << " --run"
+        << (FC.Optimize ? "" : " --no-opt") << "\n";
+  Out << printModule(M);
   return bool(Out);
 }
 
@@ -278,10 +379,37 @@ bool dumpCorpusFile(const std::string &Path, const FuzzCase &FC) {
 
 void usage(const char *Prog) {
   std::fprintf(stderr,
-               "usage: %s [--seeds N] [--start S] [--audit|--no-audit]\n"
-               "       [--fault-inject] [--out FILE] [--emit-corpus DIR]\n"
-               "       [--quiet]\n",
+               "usage: %s [--seeds N] [--start S] [--allocators A,B,...]\n"
+               "       [--audit|--no-audit] [--fault-inject] [--out FILE]\n"
+               "       [--emit-corpus DIR] [--quiet]\n"
+               "allocators: chaitin, briggs, matula-beck, linear-scan\n"
+               "            (default chaitin,briggs,linear-scan)\n",
                Prog);
+}
+
+/// Parses a comma-separated allocator list; returns false (after
+/// printing a diagnostic) on any unknown name.
+bool parseAllocatorList(const std::string &List,
+                        std::vector<AllocatorChoice> &Allocs) {
+  Allocs.clear();
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    std::string Name = List.substr(Pos, Comma - Pos);
+    AllocatorChoice AC;
+    if (!parseAllocatorName(Name, AC.B, AC.H)) {
+      std::fprintf(stderr,
+                   "ralfuzz: unknown allocator '%s' (expected chaitin, "
+                   "briggs, matula-beck, or linear-scan)\n",
+                   Name.c_str());
+      return false;
+    }
+    Allocs.push_back(AC);
+    Pos = Comma + 1;
+  }
+  return !Allocs.empty();
 }
 
 } // namespace
@@ -291,6 +419,7 @@ int main(int Argc, char **Argv) {
   bool Audit = true, FaultInject = false, Quiet = false;
   std::string OutPath = "ralfuzz-repro.ral";
   std::string CorpusDir;
+  std::vector<AllocatorChoice> Allocs = defaultAllocators();
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -298,6 +427,11 @@ int main(int Argc, char **Argv) {
       Seeds = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--start" && I + 1 < Argc) {
       Start = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--allocators" && I + 1 < Argc) {
+      if (!parseAllocatorList(Argv[++I], Allocs)) {
+        usage(Argv[0]);
+        return 1;
+      }
     } else if (Arg == "--audit") {
       Audit = true;
     } else if (Arg == "--no-audit") {
@@ -338,22 +472,17 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  const Heuristic Heuristics[] = {Heuristic::Chaitin, Heuristic::Briggs};
   uint64_t Trials = 0;
 
   for (uint64_t S = Start; S < Start + Seeds; ++S) {
     FuzzCase FC = deriveCase(S);
-    for (Heuristic H : Heuristics) {
-      ++Trials;
-      std::string Failure;
-      if (runOne(FC, H, Audit, FaultInject, Failure))
-        continue;
-
+    std::string Failure;
+    if (!runSeed(FC, Allocs, Audit, FaultInject, Failure, &Trials)) {
       std::fprintf(stderr, "seed %llu FAILED: %s\n",
                    (unsigned long long)S, Failure.c_str());
       std::fprintf(stderr, "minimizing...\n");
-      FuzzCase Min = minimizeCase(FC, H, Audit, FaultInject, Failure);
-      if (dumpReproducer(OutPath, Min, H, Failure))
+      FuzzCase Min = minimizeCase(FC, Allocs, Audit, FaultInject, Failure);
+      if (dumpReproducer(OutPath, Min, Allocs, Failure))
         std::fprintf(stderr, "reproducer written to %s\n", OutPath.c_str());
       else
         std::fprintf(stderr, "cannot write reproducer %s\n",
@@ -375,9 +504,17 @@ int main(int Argc, char **Argv) {
                    (unsigned long long)Seeds);
   }
 
-  std::printf("ralfuzz: %llu seeds, %llu allocations clean (%s%s)\n",
-              (unsigned long long)Seeds, (unsigned long long)Trials,
+  std::string Names;
+  for (const AllocatorChoice &AC : Allocs) {
+    if (!Names.empty())
+      Names += ",";
+    Names += AC.name();
+  }
+  std::printf("ralfuzz: %llu seeds x %zu allocators, %llu allocations "
+              "clean (%s%s; %s)\n",
+              (unsigned long long)Seeds, Allocs.size(),
+              (unsigned long long)Trials,
               Audit ? "audited" : "unaudited",
-              FaultInject ? ", fault-injected" : "");
+              FaultInject ? ", fault-injected" : "", Names.c_str());
   return 0;
 }
