@@ -135,11 +135,15 @@ AllocationResult ra::runLinearScanPasses(Function &F,
     // time lands in the record's select column (the decision phase);
     // linear scan has no simplify analogue.
     //===----------------------------------------------------------===//
-    ScanResult Scan = scanIntervals(LI, C.Machine);
+    ScanOptions SO;
+    SO.SplitIntervals = C.SplitIntervals;
+    ScanResult Scan = scanIntervals(LI, C.Machine, SO);
     Rec.LiveRanges = Scan.LiveRanges;
     Rec.SelectSeconds = Scan.WalkSeconds;
     Rec.SpilledLiveRanges = Scan.Spilled.size();
     Rec.SpilledCost = Scan.SpilledCost;
+    Rec.SplitLiveRanges = Scan.SplitRanges;
+    Rec.SplitDecisions = Scan.Splits;
     for (VRegId R : Scan.Spilled)
       Rec.SpilledNames.push_back(F.vreg(R).Name);
     if (C.CollectMetrics)
@@ -150,13 +154,20 @@ AllocationResult ra::runLinearScanPasses(Function &F,
 
     if (Scan.success()) {
       Result.ColorOf = std::move(Scan.ColorOf);
-      if (C.CollectMetrics)
+      Result.Pieces = std::move(Scan.Pieces);
+      if (C.CollectMetrics) {
+        // Which vregs committed to several registers (Split rows).
+        std::vector<bool> IsSplit(F.numVRegs(), false);
+        for (const PieceAssignment &P : Result.Pieces)
+          IsSplit[P.Reg] = true;
         for (const LiveInterval &I : LI.intervals())
           if (!I.empty())
-            Result.Metrics.push_back(
-                intervalRow(F, I, Pass, Area, DepthOf,
-                            RangeMetrics::Decision::Colored,
-                            Result.ColorOf[I.Reg]));
+            Result.Metrics.push_back(intervalRow(
+                F, I, Pass, Area, DepthOf,
+                IsSplit[I.Reg] ? RangeMetrics::Decision::Split
+                               : RangeMetrics::Decision::Colored,
+                Result.ColorOf[I.Reg]));
+      }
       if (C.FaultInject.Miscolor)
         injectMiscoloring(LI, C.Machine, Result);
       Result.Stats.Passes.push_back(std::move(Rec));
@@ -166,11 +177,17 @@ AllocationResult ra::runLinearScanPasses(Function &F,
     }
 
     //===----------------------------------------------------------===//
-    // Spill: same inserter as the coloring backends, then rescan.
+    // Spill: same inserter as the coloring backends — suffix-aware,
+    // so a range whose head already won registers only spills the
+    // losing tail — then rescan.
     //===----------------------------------------------------------===//
+    std::vector<SpillRequest> Requests;
+    Requests.reserve(Scan.Spilled.size());
+    for (size_t I = 0; I < Scan.Spilled.size(); ++I)
+      Requests.push_back({Scan.Spilled[I], Scan.SpillFromSlot[I]});
     Timer SpillTimer;
     SpillTimer.start();
-    SpillCodeStats SC = insertSpillCode(F, Scan.Spilled, C.Rematerialize);
+    SpillCodeStats SC = insertSpillCode(F, Requests, C.Rematerialize);
     SpillTimer.stop();
     Rec.SpillSeconds = SpillTimer.seconds();
     Result.Stats.SpillCode.Loads += SC.Loads;

@@ -31,6 +31,8 @@
 #include "analysis/Liveness.h"
 
 #include <cassert>
+#include <limits>
+#include <utility>
 #include <vector>
 
 namespace ra {
@@ -44,6 +46,7 @@ struct IntervalSegment {
   bool overlaps(const IntervalSegment &O) const {
     return From < O.To && O.From < To;
   }
+  bool operator==(const IntervalSegment &O) const = default;
 };
 
 /// The lifetime of one live range as sorted disjoint segments.
@@ -81,6 +84,15 @@ struct LiveInterval {
     return false;
   }
 
+  /// Number of slots the interval actually covers (holes excluded) —
+  /// the denominator of the eviction heuristic's spill-cost density.
+  unsigned coveredSlots() const {
+    unsigned N = 0;
+    for (const IntervalSegment &Seg : Segments)
+      N += unsigned(Seg.To - Seg.From);
+    return N;
+  }
+
   /// True when any segments of the two intervals overlap.
   bool overlaps(const LiveInterval &O) const {
     auto I = Segments.begin(), E = Segments.end();
@@ -94,6 +106,48 @@ struct LiveInterval {
         ++J;
     }
     return false;
+  }
+
+  /// Earliest slot where segments of the two intervals overlap. Requires
+  /// overlaps(O); the result is max(From, From) of the first colliding
+  /// segment pair — the conflict point second-chance splitting cuts at.
+  SlotIndex firstOverlapSlot(const LiveInterval &O) const {
+    auto I = Segments.begin(), E = Segments.end();
+    auto J = O.Segments.begin(), F = O.Segments.end();
+    while (I != E && J != F) {
+      if (I->overlaps(*J))
+        return I->From > J->From ? I->From : J->From;
+      if (I->To <= J->From)
+        ++I;
+      else
+        ++J;
+    }
+    assert(false && "firstOverlapSlot on disjoint intervals");
+    return 0;
+  }
+
+  /// Carves the segment list at slot \p S into a head covering only
+  /// slots < S and a tail covering only slots >= S. Both halves keep
+  /// Reg/Class/Cost. A cut inside a segment splits that segment; a cut
+  /// at a hole boundary (or inside a hole) partitions the list cleanly;
+  /// a cut at or before start() yields an empty head, at or after
+  /// stop() an empty tail.
+  std::pair<LiveInterval, LiveInterval> splitAt(SlotIndex S) const {
+    LiveInterval Head, Tail;
+    Head.Reg = Tail.Reg = Reg;
+    Head.Class = Tail.Class = Class;
+    Head.Cost = Tail.Cost = Cost;
+    for (const IntervalSegment &Seg : Segments) {
+      if (Seg.To <= S) {
+        Head.Segments.push_back(Seg);
+      } else if (Seg.From >= S) {
+        Tail.Segments.push_back(Seg);
+      } else {
+        Head.Segments.push_back({Seg.From, S});
+        Tail.Segments.push_back({S, Seg.To});
+      }
+    }
+    return {std::move(Head), std::move(Tail)};
   }
 };
 
@@ -113,11 +167,20 @@ public:
   unsigned numIntervals() const { return Intervals.size(); }
 
   /// Copies the per-vreg spill estimates onto the intervals (the
-  /// eviction heuristic reads LiveInterval::Cost).
+  /// eviction heuristic reads LiveInterval::Cost). The cost table must
+  /// cover every interval: a size mismatch means the table and the
+  /// intervals were computed on different renumberings, which is a bug,
+  /// not a condition to paper over. If the assert is compiled out, an
+  /// untracked interval gets an effectively-infinite cost — never
+  /// evicted — rather than the silent Cost = 0 (maximally evictable)
+  /// the old guard left behind.
   void setCosts(const std::vector<double> &CostPerVReg) {
+    assert(CostPerVReg.size() == Intervals.size() &&
+           "spill-cost table does not match the interval snapshot");
     for (LiveInterval &I : Intervals)
-      if (I.Reg < CostPerVReg.size())
-        I.Cost = CostPerVReg[I.Reg];
+      I.Cost = I.Reg < CostPerVReg.size()
+                   ? CostPerVReg[I.Reg]
+                   : std::numeric_limits<double>::max();
   }
 
 private:

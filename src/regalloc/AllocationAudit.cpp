@@ -19,6 +19,7 @@
 #include "support/Trace.h"
 
 #include <deque>
+#include <map>
 
 using namespace ra;
 
@@ -63,8 +64,14 @@ public:
     if (!checkStructure())
       return Errors; // dataflow below needs well-shaped blocks
     checkAssignments();
+    checkPieces();
     if (Errors.empty()) {
+      numberBlocks();
       computeLiveness();
+      if (!A.Pieces.empty()) {
+        checkPieceCoverage();
+        checkBlockEntryDistinct();
+      }
       checkRegisterConflicts();
       checkSpillSlots();
     }
@@ -152,13 +159,133 @@ private:
     }
   }
 
+  /// Validates the split-range table: sorted by (register, slot),
+  /// well-formed instruction-aligned ranges, physical registers inside
+  /// the file, no overlap between pieces of one range, and a color
+  /// table that agrees with each range's first piece. Also builds the
+  /// per-vreg span index the slot-aware checks below resolve against.
+  void checkPieces() {
+    if (A.Pieces.empty() || A.ColorOf.size() != F.numVRegs())
+      return; // nothing to index, or checkAssignments already reported
+    SpansOf.assign(F.numVRegs(), {});
+    const PieceAssignment *Prev = nullptr;
+    for (const PieceAssignment &P : A.Pieces) {
+      if (P.Reg >= F.numVRegs()) {
+        error("piece assignment for out-of-range register " +
+              std::to_string(P.Reg));
+        continue;
+      }
+      std::string Name = "%" + F.vreg(P.Reg).Name;
+      if (P.From >= P.To || (P.From & 1) || (P.To & 1))
+        error("piece of " + Name + " has malformed slot range [" +
+              std::to_string(P.From) + ", " + std::to_string(P.To) + ")");
+      unsigned FileSize = A.Machine.numRegs(F.regClass(P.Reg));
+      if (P.PhysReg >= FileSize)
+        error("piece of " + Name + " assigned " +
+              std::string(regClassName(F.regClass(P.Reg))) + " r" +
+              std::to_string(P.PhysReg) + " outside the " +
+              std::to_string(FileSize) + "-register file");
+      if (Prev && (Prev->Reg > P.Reg ||
+                   (Prev->Reg == P.Reg && Prev->From > P.From)))
+        error("piece table is not sorted by (register, slot)");
+      if (Prev && Prev->Reg == P.Reg && Prev->To > P.From)
+        error("pieces of " + Name + " overlap");
+      SpansOf[P.Reg].push_back({P.From, P.To, P.PhysReg});
+      Prev = &P;
+    }
+    for (VRegId R = 0; R < F.numVRegs(); ++R)
+      if (!SpansOf[R].empty() &&
+          A.ColorOf[R] != int32_t(SpansOf[R].front().Phys))
+        error("%" + F.vreg(R).Name +
+              " color table disagrees with its first piece");
+  }
+
+  /// Local copy of the InstrNumbering convention: instructions are
+  /// numbered in block layout order, read slot = index * 2, write slot
+  /// = index * 2 + 1. Recomputed here so the audit does not inherit the
+  /// analysis it is checking.
+  void numberBlocks() {
+    FirstInst.assign(F.numBlocks(), 0);
+    uint32_t Idx = 0;
+    for (const BasicBlock &B : F.blocks()) {
+      FirstInst[B.Id] = Idx;
+      Idx += uint32_t(B.Insts.size());
+    }
+  }
+
+  /// Where value \p V lives at slot \p S: its piece's register, its
+  /// single color when unsplit, or -1 when no piece covers the slot.
+  int32_t physAt(VRegId V, uint32_t S) const {
+    if (SpansOf.empty() || SpansOf[V].empty())
+      return A.ColorOf[V];
+    for (const Span &P : SpansOf[V])
+      if (P.From <= S && S < P.To)
+        return int32_t(P.Phys);
+    return -1;
+  }
+
+  /// Every access of a split range must land inside one of its pieces:
+  /// reads at the instruction's read slot, definitions at its write
+  /// slot. A gap at an access point means the value has no register
+  /// exactly when the instruction needs one.
+  void checkPieceCoverage() {
+    for (const BasicBlock &B : F.blocks()) {
+      uint32_t Idx = 0;
+      for (const Instruction &I : B.Insts) {
+        const uint32_t ReadSlot = (FirstInst[B.Id] + Idx) * 2;
+        ++Idx;
+        I.forEachUse([&](VRegId R) {
+          if (!SpansOf[R].empty() && physAt(R, ReadSlot) < 0)
+            error(B, I, "%" + F.vreg(R).Name + " is read at slot " +
+                            std::to_string(ReadSlot) +
+                            " where no piece assigns it a register");
+        });
+        if (I.hasDef() && !SpansOf[I.defReg()].empty() &&
+            physAt(I.defReg(), ReadSlot + 1) < 0)
+          error(B, I, "%" + F.vreg(I.defReg()).Name +
+                          " is defined at slot " +
+                          std::to_string(ReadSlot + 1) +
+                          " where no piece assigns it a register");
+      }
+    }
+  }
+
+  /// On entry to each block every live-in value must occupy a distinct
+  /// register within its class. Cross-edge piece moves are resolved on
+  /// the edge, so a collision at the entry slot means two values target
+  /// one register — the conflict shape def-point checking cannot see,
+  /// because a piece may change register across an edge with no def in
+  /// sight.
+  void checkBlockEntryDistinct() {
+    std::map<std::pair<RegClass, int32_t>, unsigned> Holder;
+    for (const BasicBlock &B : F.blocks()) {
+      const uint32_t S = FirstInst[B.Id] * 2;
+      Holder.clear();
+      LiveIn[B.Id].forEachSetBit([&](unsigned V) {
+        int32_t P = physAt(V, S);
+        if (P < 0)
+          return;
+        auto Key = std::make_pair(F.regClass(V), P);
+        auto It = Holder.find(Key);
+        if (It != Holder.end())
+          error(B, B.Insts.front(),
+                "at block entry %" + F.vreg(V).Name + " and %" +
+                    F.vreg(It->second).Name + " both occupy " +
+                    std::string(regClassName(F.regClass(V))) + " r" +
+                    std::to_string(P));
+        else
+          Holder.emplace(Key, V);
+      });
+    }
+  }
+
   /// Backward live-variable fixpoint, written out longhand so the audit
   /// shares no code with analysis/Liveness.
   void computeLiveness() {
     unsigned NB = F.numBlocks(), NR = F.numVRegs();
     std::vector<BitVector> Use(NB, BitVector(NR)), Def(NB, BitVector(NR));
     LiveOut.assign(NB, BitVector(NR));
-    std::vector<BitVector> LiveIn(NB, BitVector(NR));
+    LiveIn.assign(NB, BitVector(NR));
     std::vector<std::vector<uint32_t>> Preds(NB);
 
     for (const BasicBlock &B : F.blocks()) {
@@ -197,23 +324,30 @@ private:
   /// physical register with any other live range live just after the
   /// instruction (same class). Exception: a Copy's target may share with
   /// its source — both hold the same value at that point, so later reads
-  /// of either are still correct.
+  /// of either are still correct. All comparisons resolve through
+  /// physAt, so a split range is checked against the register it holds
+  /// *at that slot*; and wherever a piece boundary falls inside the
+  /// block, the implicit move is checked against every other live
+  /// value's location at the same slot.
   void checkRegisterConflicts() {
+    const bool Pieced = !A.Pieces.empty();
     for (const BasicBlock &B : F.blocks()) {
       BitVector Live = LiveOut[B.Id];
       for (unsigned Idx = B.Insts.size(); Idx-- > 0;) {
         const Instruction &I = B.Insts[Idx];
+        const uint32_t ReadSlot = (FirstInst[B.Id] + Idx) * 2;
         // Live currently holds the set live immediately after I.
         if (I.hasDef()) {
           VRegId D = I.defReg();
           RegClass DC = F.regClass(D);
-          int32_t DPhys = A.ColorOf[D];
+          int32_t DPhys = physAt(D, ReadSlot + 1);
           VRegId CopySrc =
               I.isCopy() && I.Ops[1].isReg() ? I.Ops[1].Reg : InvalidVReg;
           Live.forEachSetBit([&](unsigned V) {
             if (V == D || V == CopySrc)
               return;
-            if (F.regClass(V) == DC && A.ColorOf[V] == DPhys)
+            if (F.regClass(V) == DC && DPhys >= 0 &&
+                physAt(V, ReadSlot + 1) == DPhys)
               error(B, I,
                     std::string(regClassName(DC)) + " r" +
                         std::to_string(DPhys) + " is clobbered: %" +
@@ -223,6 +357,31 @@ private:
           Live.reset(D);
         }
         I.forEachUse([&](VRegId R) { Live.set(R); });
+        // Live now holds the set live immediately before I. A split
+        // value changing register right here (between the previous
+        // instruction and this one) implies a move; its target must not
+        // be occupied by any other value live across the move.
+        if (Pieced && ReadSlot >= FirstInst[B.Id] * 2 + 2) {
+          Live.forEachSetBit([&](unsigned V) {
+            if (SpansOf[V].empty())
+              return;
+            int32_t POld = physAt(V, ReadSlot - 2);
+            int32_t PNew = physAt(V, ReadSlot);
+            if (POld < 0 || PNew < 0 || POld == PNew)
+              return;
+            RegClass C = F.regClass(V);
+            Live.forEachSetBit([&](unsigned W) {
+              if (W == V || F.regClass(W) != C)
+                return;
+              if (physAt(W, ReadSlot) == PNew)
+                error(B, I,
+                      "piece move puts %" + F.vreg(V).Name + " into " +
+                          std::string(regClassName(C)) + " r" +
+                          std::to_string(PNew) + " while %" +
+                          F.vreg(W).Name + " occupies it");
+            });
+          });
+        }
       }
     }
   }
@@ -323,9 +482,19 @@ private:
     return In;
   }
 
+  /// One piece of a split range, indexed per vreg by checkPieces.
+  struct Span {
+    uint32_t From;
+    uint32_t To;
+    uint32_t Phys;
+  };
+
   const Function &F;
   const AllocationResult &A;
   std::vector<BitVector> LiveOut;
+  std::vector<BitVector> LiveIn;
+  std::vector<std::vector<Span>> SpansOf; ///< Empty vector = unsplit.
+  std::vector<uint32_t> FirstInst;        ///< Block -> first instr index.
   std::vector<std::string> Errors;
 };
 

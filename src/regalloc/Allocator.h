@@ -103,6 +103,13 @@ struct AllocatorConfig {
   /// reloading them (off by default: the paper's allocator predates
   /// rematerialization; turn on to measure the refinement).
   bool Rematerialize = false;
+  /// Linear-scan only: second-chance binpacking. When an interval finds
+  /// no free register and eviction loses the cost comparison, split it
+  /// (or the evictee) at the conflict point and re-enqueue the tail
+  /// instead of spilling the whole lifetime. Off reproduces the
+  /// original spill-everywhere walk — the regression oracle behind
+  /// rac's --no-split.
+  bool SplitIntervals = true;
   /// Worker threads for \c allocateModule (functions are independent
   /// allocation units). 1 = serial; 0 = one per hardware thread. Output
   /// is bit-identical at any setting.
@@ -138,6 +145,12 @@ struct PassRecord {
   unsigned SpilledLiveRanges = 0;
   double SpilledCost = 0;       ///< sum of estimates over spilled ranges
   std::vector<std::string> SpilledNames; ///< debug names, decision order
+  /// Linear scan with splitting: ranges this pass assigned to more than
+  /// one register over disjoint slot ranges (graph coloring: always 0).
+  unsigned SplitLiveRanges = 0;
+  /// Split decisions taken during the walk (second-chance splits plus
+  /// eviction truncations), whether or not the pass converged.
+  unsigned SplitDecisions = 0;
 };
 
 /// Aggregate statistics for a full allocation.
@@ -192,6 +205,8 @@ struct RangeMetrics {
     Colored,   ///< Got a register in the converging pass.
     Spilled,   ///< Chosen for spilling this pass.
     Coalesced, ///< Merged into CoalescedInto by copy coalescing.
+    Split,     ///< Linear scan: got several registers over disjoint
+               ///< slot ranges (Color reports the first piece's).
   };
 
   std::string Name;          ///< Live-range debug name at decision time.
@@ -209,7 +224,7 @@ struct RangeMetrics {
   std::string CoalescedInto; ///< Surviving range's name (Coalesced only).
 };
 
-/// Printable decision name ("colored", "spilled", "coalesced").
+/// Printable decision name ("colored", "spilled", "coalesced", "split").
 const char *rangeDecisionName(RangeMetrics::Decision D);
 
 class Liveness;
@@ -244,6 +259,21 @@ enum class AllocOutcome : uint8_t {
 /// Printable outcome name ("converged", "degraded", "failed").
 const char *allocOutcomeName(AllocOutcome O);
 
+/// One committed register piece of a split live range: \p Reg occupies
+/// physical register \p PhysReg over InstrNumbering slots [From, To).
+/// Both bounds are instruction-aligned (even), so an instruction's read
+/// and write slots always land in the same piece; crossing a piece
+/// boundary is an implicit register-register move the simulator
+/// performs (with parallel-copy semantics) and the audit validates.
+struct PieceAssignment {
+  VRegId Reg = InvalidVReg;
+  uint32_t From = 0; ///< First slot (even) the piece's register holds.
+  uint32_t To = 0;   ///< One past the last slot (even).
+  uint32_t PhysReg = 0;
+
+  bool operator==(const PieceAssignment &O) const = default;
+};
+
 /// Outcome of \c allocateRegisters. The function itself is rewritten in
 /// place (renumbered, coalesced, spill code inserted).
 struct AllocationResult {
@@ -259,10 +289,19 @@ struct AllocationResult {
   /// final allocation.
   std::vector<RangeMetrics> Metrics;
   /// Physical register index per final vreg, within its class's file.
+  /// A split vreg (linear scan with second-chance splitting) reports
+  /// its *first* piece's register here; Pieces carries the full
+  /// per-slot assignment that overrides it.
   std::vector<int32_t> ColorOf;
+  /// Per-slot assignments of split live ranges, sorted by (Reg, From);
+  /// empty unless linear-scan splitting committed a multi-register
+  /// range. Vregs not listed occupy ColorOf over their whole lifetime.
+  std::vector<PieceAssignment> Pieces;
   MachineInfo Machine = MachineInfo::rtpc();
 
-  /// Physical register assigned to \p R (requires Success).
+  /// Physical register assigned to \p R (requires Success). For split
+  /// vregs this is the first piece's register; slot-aware consumers
+  /// (simulator, audit) resolve through Pieces instead.
   unsigned physReg(VRegId R) const {
     assert(R < ColorOf.size() && ColorOf[R] >= 0 && "unallocated register");
     return unsigned(ColorOf[R]);

@@ -22,6 +22,7 @@ const char *ra::rangeDecisionName(RangeMetrics::Decision D) {
   case RangeMetrics::Decision::Colored:   return "colored";
   case RangeMetrics::Decision::Spilled:   return "spilled";
   case RangeMetrics::Decision::Coalesced: return "coalesced";
+  case RangeMetrics::Decision::Split:     return "split";
   }
   return "unknown";
 }

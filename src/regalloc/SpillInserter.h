@@ -28,6 +28,20 @@ struct SpillCodeStats {
   unsigned Loads = 0;  ///< spill.ld instructions inserted.
   unsigned Stores = 0; ///< spill.st instructions inserted.
   unsigned Remats = 0; ///< ranges rematerialized instead of spilled.
+  /// Suffix requests demoted to whole-lifetime spills because their
+  /// region contained no uses to reload (see insertSpillCode).
+  unsigned Demoted = 0;
+};
+
+/// One spill decision: live range \p Reg spills from InstrNumbering
+/// slot \p FromSlot to the end of its lifetime. FromSlot == 0 spills
+/// the whole lifetime (the classic whole-range rewrite); a nonzero
+/// slot is a *suffix* spill produced by linear-scan splitting — the
+/// head of the range already holds registers and keeps reading the
+/// original vreg.
+struct SpillRequest {
+  VRegId Reg = InvalidVReg;
+  uint32_t FromSlot = 0;
 };
 
 /// Rewrites \p F so that every live range in \p ToSpill lives in a
@@ -41,6 +55,25 @@ struct SpillCodeStats {
 /// one cycle instead of a memory round trip.
 SpillCodeStats insertSpillCode(Function &F,
                                const std::vector<VRegId> &ToSpill,
+                               bool Rematerialize = false);
+
+/// Suffix-aware overload. Whole-lifetime requests (FromSlot == 0) take
+/// the classic rewrite above. A suffix request keeps the range's head
+/// untouched: only uses whose read slot is >= FromSlot reload (or
+/// recompute); every definition keeps writing the original vreg and is
+/// followed by a store, so the slot is current whenever the suffix
+/// region is entered — including over back edges from the region into
+/// the head. Slots are the InstrNumbering of \p F *before* rewriting.
+///
+/// A suffix request whose region holds no uses at all is demoted to a
+/// whole-lifetime spill. Such regions exist when an interval is live at
+/// the region's slots only through a loop back edge (every textual use
+/// sits at a lower-numbered slot): a store-only rewrite would change
+/// neither the uses nor the liveness, and the allocator's next pass
+/// would reproduce the identical request forever. Demotion retires the
+/// vreg instead, so the spill loop always makes progress.
+SpillCodeStats insertSpillCode(Function &F,
+                               const std::vector<SpillRequest> &ToSpill,
                                bool Rematerialize = false);
 
 } // namespace ra

@@ -6,10 +6,16 @@
 
 #include "sim/Simulator.h"
 
+#include "analysis/CFG.h"
+#include "analysis/InstrNumbering.h"
+#include "analysis/Liveness.h"
+#include "linearscan/LiveInterval.h"
+
 #include <cstring>
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 using namespace ra;
 
@@ -71,11 +77,102 @@ ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
   std::vector<int64_t> IntSlots(F.numSpillSlots(), 0);
   std::vector<double> FltSlots(F.numSpillSlots(), 0.0);
 
+  // Split-range state (empty unless the allocation carries per-slot
+  // piece assignments). SpansOf holds each split range's piece table;
+  // CurPiece tracks which piece the value last occupied along the
+  // executed path; ExactLife holds the range's exact lifetime, so the
+  // implicit boundary move fires only where the value is genuinely
+  // live — at a post-hole resumption the defining instruction writes
+  // the new register itself, and the old piece's register may already
+  // belong to another value.
+  struct Span {
+    uint32_t From, To, Phys;
+  };
+  std::vector<std::vector<Span>> SpansOf;
+  std::vector<int32_t> CurPiece;
+  std::vector<VRegId> SplitRegs;
+  std::vector<LiveInterval> ExactLife; // parallel to SplitRegs
+  std::vector<uint32_t> FirstInst;     // block id -> first instr index
+  if (A && !A->Pieces.empty()) {
+    SpansOf.assign(F.numVRegs(), {});
+    for (const PieceAssignment &P : A->Pieces)
+      SpansOf[P.Reg].push_back({P.From, P.To, P.PhysReg});
+    CurPiece.assign(F.numVRegs(), -1);
+    CFG G = CFG::compute(F);
+    Liveness LV = Liveness::compute(F, G);
+    InstrNumbering Num = InstrNumbering::compute(F);
+    LiveIntervals LI = LiveIntervals::compute(F, LV, Num);
+    for (VRegId V = 0; V < F.numVRegs(); ++V)
+      if (!SpansOf[V].empty()) {
+        SplitRegs.push_back(V);
+        ExactLife.push_back(LI.interval(V));
+      }
+    FirstInst.assign(F.numBlocks(), 0);
+    uint32_t N = 0;
+    for (const BasicBlock &B : F.blocks()) {
+      FirstInst[B.Id] = N;
+      N += uint32_t(B.Insts.size());
+    }
+  }
+
   auto Loc = [&](VRegId V) -> unsigned {
     if (!A)
       return V;
+    if (!SpansOf.empty() && !SpansOf[V].empty()) {
+      assert(CurPiece[V] >= 0 && "split register accessed before any piece");
+      return SpansOf[V][size_t(CurPiece[V])].Phys;
+    }
     assert(A->ColorOf[V] >= 0 && "executing an unallocated register");
     return unsigned(A->ColorOf[V]);
+  };
+
+  // Applies the implicit moves at slot \p S: every split value whose
+  // piece changes here while live is copied old register -> new, as a
+  // parallel copy (sources snapshot first — two values may swap).
+  std::vector<std::pair<uint32_t, uint32_t>> IntMoves, FltMoves;
+  std::vector<int64_t> IntSnap;
+  std::vector<double> FltSnap;
+  auto PieceTransitions = [&](uint32_t S) {
+    IntMoves.clear();
+    FltMoves.clear();
+    for (size_t K = 0; K < SplitRegs.size(); ++K) {
+      VRegId V = SplitRegs[K];
+      const std::vector<Span> &Sp = SpansOf[V];
+      int32_t J = -1;
+      for (size_t P = 0; P < Sp.size(); ++P)
+        if (Sp[P].From <= S && S < Sp[P].To) {
+          J = int32_t(P);
+          break;
+        }
+      if (J < 0)
+        continue;
+      int32_t Old = CurPiece[V];
+      CurPiece[V] = J;
+      if (Old < 0 || Old == J ||
+          Sp[size_t(Old)].Phys == Sp[size_t(J)].Phys ||
+          !ExactLife[K].covers(S))
+        continue;
+      auto Mv = std::make_pair(Sp[size_t(Old)].Phys, Sp[size_t(J)].Phys);
+      if (F.regClass(V) == RegClass::Int)
+        IntMoves.push_back(Mv);
+      else
+        FltMoves.push_back(Mv);
+    }
+    if (IntMoves.empty() && FltMoves.empty())
+      return;
+    IntSnap.clear();
+    FltSnap.clear();
+    for (const auto &Mv : IntMoves)
+      IntSnap.push_back(IntRegs[Mv.first]);
+    for (const auto &Mv : FltMoves)
+      FltSnap.push_back(FltRegs[Mv.first]);
+    for (size_t K = 0; K < IntMoves.size(); ++K)
+      IntRegs[IntMoves[K].second] = IntSnap[K];
+    for (size_t K = 0; K < FltMoves.size(); ++K)
+      FltRegs[FltMoves[K].second] = FltSnap[K];
+    uint64_t N = IntMoves.size() + FltMoves.size();
+    R.SplitMoves += N;
+    R.Cycles += N * CM.cycles(Opcode::Copy);
   };
   auto IReg = [&](const Operand &O) -> int64_t & {
     return IntRegs[Loc(O.Reg)];
@@ -98,6 +195,8 @@ ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
     }
     assert(Idx < F.block(Block).Insts.size() && "fell off a block");
     const Instruction &I = F.block(Block).Insts[Idx];
+    if (!SplitRegs.empty())
+      PieceTransitions((FirstInst[Block] + uint32_t(Idx)) * 2);
     ++R.Instructions;
     R.Cycles += CM.cycles(I.Op);
     ++Idx;

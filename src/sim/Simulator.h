@@ -91,6 +91,13 @@ struct ExecutionResult {
   uint64_t Instructions = 0;     ///< Instructions executed.
   uint64_t SpillCycles = 0;      ///< Cycles spent in spill.ld/spill.st.
   uint64_t SpillOps = 0;         ///< Spill instructions executed.
+  /// Inter-piece register moves executed for split live ranges (each
+  /// charged one Copy). The allocation's Pieces table implies a move
+  /// wherever a value crosses into a piece holding a different
+  /// register while live; the simulator performs them between
+  /// instructions, as a hardware resolver (or a later rewrite pass)
+  /// would.
+  uint64_t SplitMoves = 0;
   bool HasIntReturn = false, HasFloatReturn = false;
   int64_t IntReturn = 0;
   double FloatReturn = 0;

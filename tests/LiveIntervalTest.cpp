@@ -271,4 +271,87 @@ TEST(LiveIntervalTest, DyingUseDoesNotConflictWithSameSlotDef) {
   EXPECT_TRUE(LI.interval(A).overlaps(LI.interval(Bv)));
 }
 
+//===--------------------------------------------------------------------===//
+// splitAt — the cut primitive second-chance splitting is built on.
+//===--------------------------------------------------------------------===//
+
+LiveInterval makeInterval(std::vector<IntervalSegment> Segs) {
+  LiveInterval I;
+  I.Reg = 7;
+  I.Class = RegClass::Float;
+  I.Cost = 42.5;
+  I.Segments = std::move(Segs);
+  return I;
+}
+
+TEST(LiveIntervalTest, SplitAtInsideSegmentCarvesIt) {
+  LiveInterval I = makeInterval({{10, 20}, {30, 40}});
+  auto [Head, Tail] = I.splitAt(14);
+  ASSERT_EQ(Head.Segments.size(), 1u);
+  EXPECT_EQ(Head.start(), 10u);
+  EXPECT_EQ(Head.stop(), 14u);
+  ASSERT_EQ(Tail.Segments.size(), 2u);
+  EXPECT_EQ(Tail.start(), 14u);
+  EXPECT_EQ(Tail.stop(), 40u);
+  // Both halves keep the range identity the walker depends on.
+  EXPECT_EQ(Head.Reg, I.Reg);
+  EXPECT_EQ(Tail.Reg, I.Reg);
+  EXPECT_EQ(Head.Class, I.Class);
+  EXPECT_EQ(Tail.Class, I.Class);
+  EXPECT_DOUBLE_EQ(Head.Cost, I.Cost);
+  EXPECT_DOUBLE_EQ(Tail.Cost, I.Cost);
+  EXPECT_EQ(Head.coveredSlots() + Tail.coveredSlots(), I.coveredSlots());
+}
+
+TEST(LiveIntervalTest, SplitAtHoleBoundaryPartitionsCleanly) {
+  LiveInterval I = makeInterval({{10, 20}, {30, 40}});
+  // Cut exactly where the first segment ends: no segment is carved.
+  auto [HeadA, TailA] = I.splitAt(20);
+  ASSERT_EQ(HeadA.Segments.size(), 1u);
+  EXPECT_EQ(HeadA.stop(), 20u);
+  ASSERT_EQ(TailA.Segments.size(), 1u);
+  EXPECT_EQ(TailA.start(), 30u);
+  // Cut inside the hole: same partition — the hole belongs to neither.
+  auto [HeadB, TailB] = I.splitAt(25);
+  EXPECT_EQ(HeadB.Segments, HeadA.Segments);
+  EXPECT_EQ(TailB.Segments, TailA.Segments);
+  // Cut where the second segment begins: the whole segment moves to
+  // the tail.
+  auto [HeadC, TailC] = I.splitAt(30);
+  ASSERT_EQ(HeadC.Segments.size(), 1u);
+  ASSERT_EQ(TailC.Segments.size(), 1u);
+  EXPECT_EQ(TailC.start(), 30u);
+  EXPECT_EQ(TailC.stop(), 40u);
+}
+
+TEST(LiveIntervalTest, SplitAtExtremesYieldsEmptyPiece) {
+  LiveInterval I = makeInterval({{10, 20}, {30, 40}});
+  // At or before start: everything is tail.
+  auto [HeadA, TailA] = I.splitAt(10);
+  EXPECT_TRUE(HeadA.empty());
+  EXPECT_EQ(TailA.Segments, I.Segments);
+  auto [HeadB, TailB] = I.splitAt(0);
+  EXPECT_TRUE(HeadB.empty());
+  EXPECT_EQ(TailB.Segments, I.Segments);
+  // At or past stop: everything is head.
+  auto [HeadC, TailC] = I.splitAt(40);
+  EXPECT_EQ(HeadC.Segments, I.Segments);
+  EXPECT_TRUE(TailC.empty());
+  auto [HeadD, TailD] = I.splitAt(99);
+  EXPECT_EQ(HeadD.Segments, I.Segments);
+  EXPECT_TRUE(TailD.empty());
+}
+
+TEST(LiveIntervalTest, SplitAtSingleSegmentInterval) {
+  LiveInterval I = makeInterval({{4, 12}});
+  auto [Head, Tail] = I.splitAt(8);
+  ASSERT_EQ(Head.Segments.size(), 1u);
+  EXPECT_EQ(Head.start(), 4u);
+  EXPECT_EQ(Head.stop(), 8u);
+  ASSERT_EQ(Tail.Segments.size(), 1u);
+  EXPECT_EQ(Tail.start(), 8u);
+  EXPECT_EQ(Tail.stop(), 12u);
+  EXPECT_FALSE(Head.overlaps(Tail));
+}
+
 } // namespace

@@ -277,7 +277,7 @@ TEST(SpillInserterTest, InsertsStoresAfterDefsAndLoadsBeforeUses) {
   B.store(Arr, Zero, X);    // second use -> second load
   B.ret();
 
-  SpillCodeStats S = insertSpillCode(F, {X});
+  SpillCodeStats S = insertSpillCode(F, std::vector<VRegId>{X});
   EXPECT_EQ(S.Stores, 1u);
   EXPECT_EQ(S.Loads, 2u);
   EXPECT_EQ(F.numSpillSlots(), 1u);
@@ -307,7 +307,7 @@ TEST(SpillInserterTest, SharedRestoreForRepeatedUseInOneInstruction) {
   VRegId Y = B.add(X, X); // two uses of x in one instruction
   B.ret(Y);
 
-  SpillCodeStats S = insertSpillCode(F, {X});
+  SpillCodeStats S = insertSpillCode(F, std::vector<VRegId>{X});
   EXPECT_EQ(S.Loads, 1u) << "one restore serves both operands";
   EXPECT_EQ(S.Stores, 1u);
 
@@ -316,6 +316,68 @@ TEST(SpillInserterTest, SharedRestoreForRepeatedUseInOneInstruction) {
   ExecutionResult R = Sim.runVirtual(F, Mem);
   ASSERT_TRUE(R.Ok);
   EXPECT_EQ(R.IntReturn, 42);
+}
+
+TEST(SpillInserterTest, SuffixRequestWithNoUsesInRegionIsDemoted) {
+  // A suffix region past the last textual use would get a store-only
+  // rewrite that changes nothing the allocator sees — the classic
+  // back-edge livelock. The inserter must demote such requests to
+  // whole-lifetime spills so the vreg actually retires.
+  auto Build = [](Module &M, uint32_t &Arr, VRegId &X) -> Function & {
+    Arr = M.newArray("arr", 4, RegClass::Int);
+    Function &F = M.newFunction("f");
+    IRBuilder B(M, F);
+    B.setInsertPoint(B.newBlock("entry"));
+    VRegId Zero = B.movI(0);
+    X = B.movI(7);           // write slot 3
+    VRegId Y = B.addI(X, 1); // read slot 4 — X's last use
+    B.store(Arr, Zero, Y);
+    B.ret();
+    return F;
+  };
+
+  // Region [6, end) holds no uses of X: demoted, and the rewrite is
+  // exactly the whole-lifetime one (store after the def, load at the
+  // pre-region use).
+  {
+    Module M;
+    uint32_t Arr;
+    VRegId X;
+    Function &F = Build(M, Arr, X);
+    SpillCodeStats S =
+        insertSpillCode(F, std::vector<SpillRequest>{{X, 6}});
+    EXPECT_EQ(S.Demoted, 1u);
+    EXPECT_EQ(S.Stores, 1u);
+    EXPECT_EQ(S.Loads, 1u);
+    EXPECT_TRUE(verifyFunction(M, F).empty());
+
+    Simulator Sim(M);
+    MemoryImage Mem(M);
+    ExecutionResult R = Sim.runVirtual(F, Mem);
+    ASSERT_TRUE(R.Ok);
+    EXPECT_EQ(Mem.intArray(Arr)[0], 8);
+  }
+
+  // Region [4, end) covers the use: a genuine suffix spill, no
+  // demotion.
+  {
+    Module M;
+    uint32_t Arr;
+    VRegId X;
+    Function &F = Build(M, Arr, X);
+    SpillCodeStats S =
+        insertSpillCode(F, std::vector<SpillRequest>{{X, 4}});
+    EXPECT_EQ(S.Demoted, 0u);
+    EXPECT_EQ(S.Stores, 1u);
+    EXPECT_EQ(S.Loads, 1u);
+    EXPECT_TRUE(verifyFunction(M, F).empty());
+
+    Simulator Sim(M);
+    MemoryImage Mem(M);
+    ExecutionResult R = Sim.runVirtual(F, Mem);
+    ASSERT_TRUE(R.Ok);
+    EXPECT_EQ(Mem.intArray(Arr)[0], 8);
+  }
 }
 
 //===--------------------------------------------------------------------===//
@@ -435,7 +497,7 @@ TEST(RematTest, ConstantRangeIsRecomputedNotStored) {
   VRegId Sum = B.add(A, C);
   B.ret(Sum);
 
-  SpillCodeStats S = insertSpillCode(F, {C}, /*Rematerialize=*/true);
+  SpillCodeStats S = insertSpillCode(F, std::vector<VRegId>{C}, /*Rematerialize=*/true);
   EXPECT_EQ(S.Remats, 1u);
   EXPECT_EQ(S.Loads, 0u);
   EXPECT_EQ(S.Stores, 0u);
@@ -459,7 +521,7 @@ TEST(RematTest, MixedDefinitionsFallBackToMemory) {
   VRegId Y = B.addI(X, 0);
   B.ret(Y);
 
-  SpillCodeStats S = insertSpillCode(F, {X}, /*Rematerialize=*/true);
+  SpillCodeStats S = insertSpillCode(F, std::vector<VRegId>{X}, /*Rematerialize=*/true);
   EXPECT_EQ(S.Remats, 0u);
   EXPECT_GT(S.Stores, 0u);
   EXPECT_TRUE(verifyFunction(M, F).empty());
@@ -487,7 +549,7 @@ TEST(RematTest, DifferentConstantsFallBackToMemory) {
   B.setInsertPoint(Join);
   B.ret(X);
 
-  SpillCodeStats S = insertSpillCode(F, {X}, /*Rematerialize=*/true);
+  SpillCodeStats S = insertSpillCode(F, std::vector<VRegId>{X}, /*Rematerialize=*/true);
   EXPECT_EQ(S.Remats, 0u)
       << "defs with different constants cannot rematerialize";
   EXPECT_TRUE(verifyFunction(M, F).empty());

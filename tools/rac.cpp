@@ -19,6 +19,9 @@
 //                        bit-identical at any setting)
 //   --no-opt             skip LICM/strength reduction/value numbering
 //   --remat              rematerialize constant spills
+//   --split / --no-split interval splitting in the linear-scan backend
+//                        (default on; --no-split restores whole-lifetime
+//                        spilling — the regression oracle)
 //   --audit / --no-audit run the post-allocation audit (default on)
 //   --print              print the allocated function(s)
 //   --run                execute each function on zero-filled memory
@@ -61,6 +64,7 @@ void usage(const char *Prog) {
       "usage: %s FILE.ral... "
       "[--allocator chaitin|briggs|matula-beck|linear-scan]\n"
       "       [--int K] [--flt K] [--jobs N] [--no-opt] [--remat]\n"
+      "       [--split] [--no-split]\n"
       "       [--audit] [--no-audit] [--print] [--run] [--quiet]\n"
       "       [--bench-json FILE] [--trace FILE] [--metrics FILE]\n"
       "\n"
@@ -80,7 +84,7 @@ struct Options {
   Backend B = Backend::GraphColoring;
   Heuristic H = Heuristic::Briggs;
   unsigned IntK = 16, FltK = 8, Jobs = 1;
-  bool Optimize = true, Remat = false, Audit = true;
+  bool Optimize = true, Remat = false, Audit = true, Split = true;
   bool Print = false, Run = false, Quiet = false;
   std::string TracePath;   ///< --trace: Chrome trace JSON output.
   std::string MetricsPath; ///< --metrics: per-range CSV output.
@@ -125,6 +129,7 @@ Status processFile(const std::string &Path, const Options &Opt,
   C.H = Opt.H;
   C.Machine = MachineInfo(Opt.IntK, Opt.FltK);
   C.Rematerialize = Opt.Remat;
+  C.SplitIntervals = Opt.Split;
   C.Jobs = Opt.Jobs;
   C.Audit = Opt.Audit;
   C.CollectMetrics = !Opt.MetricsPath.empty();
@@ -248,6 +253,10 @@ int main(int Argc, char **Argv) {
       Opt.Optimize = false;
     } else if (Arg == "--remat") {
       Opt.Remat = true;
+    } else if (Arg == "--split") {
+      Opt.Split = true;
+    } else if (Arg == "--no-split") {
+      Opt.Split = false;
     } else if (Arg == "--audit") {
       Opt.Audit = true;
     } else if (Arg == "--no-audit") {

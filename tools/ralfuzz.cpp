@@ -33,8 +33,9 @@
 //   --seeds N       number of seeds to run (default 1000)
 //   --start S       first seed (default 0)
 //   --allocators L  comma-separated allocator list (chaitin, briggs,
-//                   matula-beck, linear-scan); default
-//                   chaitin,briggs,linear-scan
+//                   matula-beck, linear-scan, linear-scan-nosplit);
+//                   default chaitin,briggs,linear-scan,
+//                   linear-scan-nosplit
 //   --audit         run the in-allocator audit too (default on)
 //   --no-audit      rely on this tool's external checks only
 //   --fault-inject  deliberately miscolor / fail convergence and demand
@@ -77,21 +78,29 @@ struct FuzzCase {
 };
 
 /// One allocator under test: a backend plus (for graph coloring) its
-/// simplify/select heuristic.
+/// simplify/select heuristic, and (for linear scan) whether interval
+/// splitting is on.
 struct AllocatorChoice {
   Backend B = Backend::GraphColoring;
   Heuristic H = Heuristic::Briggs;
+  bool Split = true;
 
-  const char *name() const { return allocatorName(B, H); }
+  const char *name() const {
+    if (B == Backend::LinearScan && !Split)
+      return "linear-scan-nosplit";
+    return allocatorName(B, H);
+  }
 };
 
 /// The allocators every seed runs by default: both of the paper's
-/// heuristics plus the linear-scan backend, so coloring-vs-coloring and
-/// coloring-vs-linear-scan differentials are both always live.
+/// heuristics plus the linear-scan backend with and without interval
+/// splitting, so coloring-vs-coloring, coloring-vs-linear-scan, and
+/// split-vs-nosplit differentials are all always live.
 std::vector<AllocatorChoice> defaultAllocators() {
   return {{Backend::GraphColoring, Heuristic::Chaitin},
           {Backend::GraphColoring, Heuristic::Briggs},
-          {Backend::LinearScan, Heuristic::Briggs}};
+          {Backend::LinearScan, Heuristic::Briggs},
+          {Backend::LinearScan, Heuristic::Briggs, /*Split=*/false}};
 }
 
 /// The observable outcome of one allocated run, kept for cross-allocator
@@ -161,6 +170,7 @@ bool runOne(const FuzzCase &FC, AllocatorChoice AC, bool Audit,
   C.B = AC.B;
   C.H = AC.H;
   C.Machine = MachineInfo(FC.IntK, FC.FltK);
+  C.SplitIntervals = AC.Split;
   C.MaxPasses = 64; // Matula-Beck-style worst cases need headroom
   C.Audit = Audit || FaultInject; // injected faults must be caught
   if (FaultInject) {
@@ -345,7 +355,8 @@ bool dumpReproducer(const std::string &Path, const FuzzCase &FC,
       << " arrays=" << FC.Shape.ArraySize
       << " trip=" << FC.Shape.LoopTrip << "\n";
   for (const AllocatorChoice &AC : Allocs)
-    Out << "; replay: rac " << Path << " --allocator " << AC.name()
+    Out << "; replay: rac " << Path << " --allocator "
+        << allocatorName(AC.B, AC.H) << (AC.Split ? "" : " --no-split")
         << " --int " << FC.IntK << " --flt " << FC.FltK << " --run"
         << (FC.Optimize ? "" : " --no-opt") << "\n";
   Out << printModule(M);
@@ -382,8 +393,9 @@ void usage(const char *Prog) {
                "usage: %s [--seeds N] [--start S] [--allocators A,B,...]\n"
                "       [--audit|--no-audit] [--fault-inject] [--out FILE]\n"
                "       [--emit-corpus DIR] [--quiet]\n"
-               "allocators: chaitin, briggs, matula-beck, linear-scan\n"
-               "            (default chaitin,briggs,linear-scan)\n",
+               "allocators: chaitin, briggs, matula-beck, linear-scan,\n"
+               "            linear-scan-nosplit (default chaitin,briggs,\n"
+               "            linear-scan,linear-scan-nosplit)\n",
                Prog);
 }
 
@@ -399,10 +411,14 @@ bool parseAllocatorList(const std::string &List,
       Comma = List.size();
     std::string Name = List.substr(Pos, Comma - Pos);
     AllocatorChoice AC;
-    if (!parseAllocatorName(Name, AC.B, AC.H)) {
+    if (Name == "linear-scan-nosplit") {
+      AC.B = Backend::LinearScan;
+      AC.Split = false;
+    } else if (!parseAllocatorName(Name, AC.B, AC.H)) {
       std::fprintf(stderr,
                    "ralfuzz: unknown allocator '%s' (expected chaitin, "
-                   "briggs, matula-beck, or linear-scan)\n",
+                   "briggs, matula-beck, linear-scan, or "
+                   "linear-scan-nosplit)\n",
                    Name.c_str());
       return false;
     }
