@@ -5,7 +5,11 @@
 # and linear-scan.* under the backend_compare section), which double as
 # a coloring-vs-linear-scan differential check.
 #
-#   usage: run_benches.sh [BUILD_DIR]    (default: build)
+#   usage: run_benches.sh [BUILD_DIR] [--jobs N]    (default: build)
+#
+# --jobs N caps the thread sweep of the scaling benches
+# (micro_coloring's pool sweep and megakernel_scaling's in-graph Select
+# sweep); default 8.
 #
 # Set BENCH_JSON to redirect the telemetry file. Set RA_TRACE to a path
 # to additionally capture a Chrome/Perfetto trace of rac over the sample
@@ -13,7 +17,19 @@
 # diagnostic on stderr, non-zero exit), never a silent drop.
 set -e
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR=build
+JOBS=8
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs)
+      [ $# -ge 2 ] || { echo "error: --jobs needs a value" >&2; exit 2; }
+      JOBS="$2"; shift 2 ;;
+    -*)
+      echo "usage: run_benches.sh [BUILD_DIR] [--jobs N]" >&2; exit 2 ;;
+    *)
+      BUILD_DIR="$1"; shift ;;
+  esac
+done
 BENCH_JSON="${BENCH_JSON:-BENCH_allocator.json}"
 
 # Every allocation behind a published number must pass the independent
@@ -38,16 +54,35 @@ if [ -n "${RA_TRACE:-}" ]; then
   fi
 fi
 
+# The expected binary set is derived from the bench sources themselves
+# (every bench/*.cpp except the shared BenchJson library), so adding a
+# bench without building it — or a build that silently dropped one — is
+# a hard error here, never a silently thinner telemetry file.
+script_dir=$(dirname -- "$0")
 found=0
-for b in "$BUILD_DIR"/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] || continue
+for src in "$script_dir"/bench/*.cpp; do
+  name=$(basename "$src" .cpp)
+  [ "$name" = "BenchJson" ] && continue
+  b="$BUILD_DIR/bench/$name"
+  if [ ! -x "$b" ] || [ ! -f "$b" ]; then
+    echo "error: bench binary '$b' is missing — rebuild" \
+         "(cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
   found=1
   echo "==== $b ===="
-  "$b" --bench-json "$BENCH_JSON"
+  # The scaling benches take the thread-sweep cap; the figure benches
+  # are single-threaded by design.
+  case "$name" in
+    micro_coloring|megakernel_scaling)
+      "$b" --jobs "$JOBS" --bench-json "$BENCH_JSON" ;;
+    *)
+      "$b" --bench-json "$BENCH_JSON" ;;
+  esac
 done
 
 if [ "$found" -eq 0 ]; then
-  echo "error: no bench binaries under '$BUILD_DIR/bench'" >&2
+  echo "error: no bench sources under '$script_dir/bench'" >&2
   exit 1
 fi
 

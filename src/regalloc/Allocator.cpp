@@ -189,7 +189,8 @@ RangeMetrics rangeRow(const Function &F, const ClassGraph &CG,
                       const std::vector<double> &Costs,
                       const std::vector<double> &Area,
                       const std::vector<unsigned> &DepthOf,
-                      RangeMetrics::Decision D, int32_t Color) {
+                      RangeMetrics::Decision D, int32_t Color,
+                      unsigned SelectRounds) {
   VRegId R = CG.NodeToVReg[Node];
   RangeMetrics RM;
   RM.Name = F.vreg(R).Name;
@@ -204,6 +205,7 @@ RangeMetrics rangeRow(const Function &F, const ClassGraph &CG,
   RM.LoopDepth = DepthOf[R];
   RM.D = D;
   RM.Color = Color;
+  RM.SelectRounds = SelectRounds;
   return RM;
 }
 
@@ -269,6 +271,10 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
     std::vector<VRegId> ToSpill;
     std::array<ColoringResult, NumRegClasses> Colorings;
     static_assert(NumRegClasses == 2, "per-class threading assumes 2");
+    SelectOptions SelOpts;
+    SelOpts.Parallel = C.ParallelGraph;
+    SelOpts.Threads = C.ParallelGraphJobs;
+    SelOpts.MinNodes = C.ParallelGraphMinNodes;
     bool Concurrent =
         C.ParallelClasses &&
         Graphs[0].Graph.numNodes() >= ParallelClassThreshold &&
@@ -284,21 +290,29 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
         RA_TRACE_CONTEXT([&] { return ParentCtx + "/flt-helper"; });
         Colorings[1] =
             colorGraph(Graphs[1].Graph, C.Machine.numRegs(Graphs[1].Class),
-                       C.H);
+                       C.H, SelOpts);
       });
       Colorings[0] = colorGraph(Graphs[0].Graph,
-                                C.Machine.numRegs(Graphs[0].Class), C.H);
+                                C.Machine.numRegs(Graphs[0].Class), C.H,
+                                SelOpts);
       Helper.join();
     } else {
       for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls)
         Colorings[Cls] = colorGraph(Graphs[Cls].Graph,
                                     C.Machine.numRegs(Graphs[Cls].Class),
-                                    C.H);
+                                    C.H, SelOpts);
     }
     for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls) {
       ClassGraph &CG = Graphs[Cls];
       Rec.SimplifySeconds += Colorings[Cls].SimplifySeconds;
       Rec.SelectSeconds += Colorings[Cls].SelectSeconds;
+      for (size_t I = 0; I != Colorings[Cls].SelectRounds.size(); ++I) {
+        const SelectRound &SR = Colorings[Cls].SelectRounds[I];
+        ++Rec.SelectRounds;
+        Rec.SelectConflicts += SR.Conflicts;
+        if (I > 0) // entry 0 is speculation, not repair
+          Rec.SelectRecolored += SR.Colored;
+      }
       for (uint32_t Node : Colorings[Cls].Spilled) {
         VRegId R = CG.NodeToVReg[Node];
         ToSpill.push_back(R);
@@ -307,7 +321,8 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
         if (C.CollectMetrics)
           Result.Metrics.push_back(rangeRow(
               F, CG, Node, Pass, Costs, Area, DepthOf,
-              RangeMetrics::Decision::Spilled, /*Color=*/-1));
+              RangeMetrics::Decision::Spilled, /*Color=*/-1,
+              unsigned(Colorings[Cls].SelectRounds.size())));
       }
     }
     Rec.SpilledLiveRanges = ToSpill.size();
@@ -328,7 +343,8 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
             Result.Metrics.push_back(
                 rangeRow(F, CG, Node, Pass, Costs, Area, DepthOf,
                          RangeMetrics::Decision::Colored,
-                         Colorings[Cls].ColorOf[Node]));
+                         Colorings[Cls].ColorOf[Node],
+                         unsigned(Colorings[Cls].SelectRounds.size())));
         }
       if (C.FaultInject.Miscolor)
         injectMiscoloring(Graphs, Colorings, C.Machine, Result);

@@ -7,6 +7,7 @@
 #include "regalloc/Coloring.h"
 
 #include "regalloc/DegreeBuckets.h"
+#include "regalloc/ParallelSelect.h"
 #include "regalloc/SpillHeap.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
@@ -43,7 +44,7 @@ void removeNode(const InterferenceGraph &G, DegreeBuckets &Buckets,
 } // namespace
 
 ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
-                              Heuristic H) {
+                              Heuristic H, const SelectOptions &SO) {
   assert(K >= 1 && "need at least one color");
   ColoringResult R;
   unsigned N = G.numNodes();
@@ -140,33 +141,60 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
   //===------------------------------------------------------------===//
   RA_TRACE_SPAN_NAMED(SelectSpan, "Select", "regalloc");
   SelectTimer.start();
-  std::vector<bool> Used(K);
-  std::vector<bool> Inserted(N, false);
-  for (auto It = R.RemovalOrder.rbegin(), E = R.RemovalOrder.rend(); It != E;
-       ++It) {
-    uint32_t Node = *It;
-    std::fill(Used.begin(), Used.end(), false);
-    for (uint32_t M : G.neighbors(Node))
-      if (Inserted[M] && R.ColorOf[M] >= 0)
-        Used[R.ColorOf[M]] = true;
-    int32_t Color = -1;
-    for (unsigned C = 0; C < K; ++C)
-      if (!Used[C]) {
-        Color = int32_t(C);
-        break;
+  const bool UseParallel =
+      SO.Parallel && R.RemovalOrder.size() >= SO.MinNodes;
+  if (UseParallel) {
+    // Speculate-and-repair engine (ParallelSelect.cpp): converges to the
+    // same coloring the sequential loop below computes, at any thread
+    // count. The spill list, cost sum, and counters are then derived in
+    // one sequential rank-order sweep so decision order and floating-
+    // point accumulation order match the sequential phase exactly.
+    std::vector<uint32_t> SelectOrder(R.RemovalOrder.rbegin(),
+                                      R.RemovalOrder.rend());
+    runParallelSelect(G, K, SelectOrder, SO, R.ColorOf, R.SelectRounds);
+    R.ParallelSelect = true;
+    for (uint32_t Node : SelectOrder) {
+      int32_t Color = R.ColorOf[Node];
+      if (Color < 0) {
+        assert(H != Heuristic::Chaitin &&
+               "Chaitin's stack nodes are always colorable");
+        R.Spilled.push_back(Node);
+        R.SpilledCost += G.node(Node).SpillCost;
+      } else {
+        R.NumColorsUsed = std::max(R.NumColorsUsed, unsigned(Color) + 1);
+        if (!StuckPushed.empty() && StuckPushed[Node])
+          ++OptimisticSaves; // a stuck-pushed node still found a color
       }
-    if (Color < 0) {
-      assert(H != Heuristic::Chaitin &&
-             "Chaitin's stack nodes are always colorable");
-      R.Spilled.push_back(Node);
-      R.SpilledCost += G.node(Node).SpillCost;
-    } else {
-      R.ColorOf[Node] = Color;
-      R.NumColorsUsed = std::max(R.NumColorsUsed, unsigned(Color) + 1);
-      if (!StuckPushed.empty() && StuckPushed[Node])
-        ++OptimisticSaves; // a stuck-pushed node still found a color
     }
-    Inserted[Node] = true;
+  } else {
+    std::vector<bool> Used(K);
+    std::vector<bool> Inserted(N, false);
+    for (auto It = R.RemovalOrder.rbegin(), E = R.RemovalOrder.rend();
+         It != E; ++It) {
+      uint32_t Node = *It;
+      std::fill(Used.begin(), Used.end(), false);
+      for (uint32_t M : G.neighbors(Node))
+        if (Inserted[M] && R.ColorOf[M] >= 0)
+          Used[R.ColorOf[M]] = true;
+      int32_t Color = -1;
+      for (unsigned C = 0; C < K; ++C)
+        if (!Used[C]) {
+          Color = int32_t(C);
+          break;
+        }
+      if (Color < 0) {
+        assert(H != Heuristic::Chaitin &&
+               "Chaitin's stack nodes are always colorable");
+        R.Spilled.push_back(Node);
+        R.SpilledCost += G.node(Node).SpillCost;
+      } else {
+        R.ColorOf[Node] = Color;
+        R.NumColorsUsed = std::max(R.NumColorsUsed, unsigned(Color) + 1);
+        if (!StuckPushed.empty() && StuckPushed[Node])
+          ++OptimisticSaves; // a stuck-pushed node still found a color
+      }
+      Inserted[Node] = true;
+    }
   }
   SelectTimer.stop();
   SelectSpan.close();
@@ -177,6 +205,21 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
     if (H == Heuristic::Briggs)
       RA_TRACE_COUNTER("coloring.optimistic_saves", double(OptimisticSaves));
     RA_TRACE_COUNTER("coloring.spilled", double(R.Spilled.size()));
+    if (R.ParallelSelect) {
+      // Scheduling-dependent totals (they vary with thread count and
+      // interleaving, like wall time) — never compare across --jobs.
+      uint64_t Conflicts = 0, Recolored = 0;
+      for (size_t I = 0; I != R.SelectRounds.size(); ++I) {
+        Conflicts += R.SelectRounds[I].Conflicts;
+        if (I > 0)
+          Recolored += R.SelectRounds[I].Colored;
+      }
+      RA_TRACE_COUNTER("coloring.parallel.selects", 1);
+      RA_TRACE_COUNTER("coloring.parallel.rounds",
+                       double(R.SelectRounds.size()));
+      RA_TRACE_COUNTER("coloring.parallel.conflicts", double(Conflicts));
+      RA_TRACE_COUNTER("coloring.parallel.recolored", double(Recolored));
+    }
   }
 
   R.SimplifySeconds = SimplifyTimer.seconds();

@@ -1,0 +1,86 @@
+//===- regalloc/ParallelSelect.h - Speculate-and-repair select -*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel Select over one interference graph, after Rokos, Gorman &
+/// Kelly ("A Fast and Scalable Graph Coloring Algorithm for Multi-core
+/// and Many-core Architectures"): color the select order speculatively
+/// in chunks, detect nodes whose color disagrees with the sequential
+/// greedy rule, re-color only those, and repeat until none disagree.
+///
+/// Why this reproduces the sequential Select *byte-identically*: rank
+/// every stack node by its position in select order (reverse removal
+/// order). The sequential phase assigns each node the lowest color in
+/// [0, K) unused by its lower-ranked colored neighbors — mex over
+/// earlier ranks — or spill when none is free. That makes the
+/// sequential coloring the *unique* array satisfying
+///
+///     color[n] = mex{ color[m] : m adjacent to n, rank[m] < rank[n] }
+///
+/// for every stack node n (unique by induction on rank: rank 0 is
+/// forced, and each next value is a function of strictly earlier ones).
+/// Detection therefore checks *equality with the mex*, not mere
+/// validity — a stale read can leave a node with a legal-but-too-high
+/// color, which a validity check would miss. Any state where every node
+/// satisfies its equation IS the sequential answer, so the engine is
+/// deterministic at every thread count, chunk size, and interleaving.
+///
+/// Termination: consider the lowest-ranked wrong node after a round's
+/// join. All its lower-ranked neighbors are correct and are not wrong,
+/// hence not re-colored next round; repairing it reads only settled
+/// final values, so it becomes correct and stays correct (its equation
+/// inputs never change again). The minimum wrong rank strictly
+/// increases every repair round, bounding rounds by the stack size; in
+/// practice conflicts shrink geometrically and a handful of rounds
+/// suffice. A sequential rank-order sweep is the MaxRounds safety
+/// valve — from *any* intermediate state it lands on the fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_REGALLOC_PARALLELSELECT_H
+#define RA_REGALLOC_PARALLELSELECT_H
+
+#include "regalloc/Coloring.h"
+#include "regalloc/InterferenceGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ra {
+
+/// Runs speculate-and-repair select over finalized graph \p G.
+/// \p SelectOrder lists stack nodes lowest rank first (reverse removal
+/// order; Chaitin-spilled nodes absent). On return `ColorOf[n]` for
+/// every node in the order equals the sequential Select result (-1 =
+/// uncolorable, i.e. Briggs spill); nodes outside the order are left
+/// untouched. \p Rounds receives one entry per round. The caller
+/// derives Spilled/SpilledCost/NumColorsUsed in a sequential sweep so
+/// accumulation order matches the sequential phase exactly.
+void runParallelSelect(const InterferenceGraph &G, unsigned K,
+                       const std::vector<uint32_t> &SelectOrder,
+                       const SelectOptions &SO, std::vector<int32_t> &ColorOf,
+                       std::vector<SelectRound> &Rounds);
+
+/// The color the sequential greedy rule gives \p Node under \p Colors:
+/// lowest color in [0, K) unused by neighbors with Rank[m] < Rank[Node]
+/// and Colors[m] >= 0, or -1 when all K are taken. Rank is ~0u for
+/// nodes outside the select order (never constrains). Reference
+/// implementation for tests and for conflict detection.
+int32_t greedySelectColor(const InterferenceGraph &G, unsigned K,
+                          const std::vector<uint32_t> &Rank,
+                          const std::vector<int32_t> &Colors, uint32_t Node);
+
+/// Rank positions in \p SelectOrder whose node violates its greedy
+/// equation under \p Colors — the exact set a repair round would
+/// re-color. Sequential; exposed for unit tests on hand-built adjacency.
+std::vector<uint32_t>
+findSelectConflicts(const InterferenceGraph &G, unsigned K,
+                    const std::vector<uint32_t> &SelectOrder,
+                    const std::vector<int32_t> &Colors);
+
+} // namespace ra
+
+#endif // RA_REGALLOC_PARALLELSELECT_H

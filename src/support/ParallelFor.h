@@ -1,0 +1,73 @@
+//===- support/ParallelFor.h - Plain-thread batch helpers ------*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fork-join batching over plain std::threads. The ThreadPool cannot be
+/// used for work *inside* an allocation task — its header forbids
+/// submitting from a worker (a task blocking on a same-pool future can
+/// deadlock), and the parallel Select phase runs exactly there, inside
+/// \c allocateModule's pool tasks. These helpers follow the precedent
+/// of Allocator.cpp's per-class helper thread: short-lived plain
+/// threads, joined before returning, so the join gives callers a
+/// happens-before edge over everything the batches wrote.
+///
+/// Index 0 always runs on the calling thread, so `Threads == 1` costs
+/// no thread spawn at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_SUPPORT_PARALLELFOR_H
+#define RA_SUPPORT_PARALLELFOR_H
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ra {
+
+/// Runs `Fn(ThreadIdx)` for every ThreadIdx in [0, Threads), each on its
+/// own thread except index 0 which runs on the caller. Returns after all
+/// of them complete (the joins are the synchronization point).
+template <typename FnT> void forkJoin(unsigned Threads, FnT &&Fn) {
+  if (Threads <= 1) {
+    Fn(0u);
+    return;
+  }
+  std::vector<std::thread> Helpers;
+  Helpers.reserve(Threads - 1);
+  for (unsigned T = 1; T < Threads; ++T)
+    Helpers.emplace_back([&Fn, T] { Fn(T); });
+  Fn(0u);
+  for (std::thread &H : Helpers)
+    H.join();
+}
+
+/// Splits [0, N) into at most \p Threads contiguous batches of
+/// near-equal size and runs `Fn(BatchIdx, Begin, End)` for each, one
+/// batch per thread (batch 0 on the caller). Batches cover the range in
+/// order and never overlap; fewer than \p Threads batches are made when
+/// N is small, and empty ranges spawn nothing.
+template <typename FnT>
+void parallelBatches(size_t N, unsigned Threads, FnT &&Fn) {
+  unsigned Batches =
+      unsigned(std::min<size_t>(std::max(1u, Threads), std::max<size_t>(N, 1)));
+  if (Batches <= 1 || N == 0) {
+    if (N != 0)
+      Fn(0u, size_t(0), N);
+    return;
+  }
+  size_t Base = N / Batches, Rem = N % Batches;
+  forkJoin(Batches, [&](unsigned B) {
+    size_t Begin = B * Base + std::min<size_t>(B, Rem);
+    size_t End = Begin + Base + (B < Rem ? 1 : 0);
+    Fn(B, Begin, End);
+  });
+}
+
+} // namespace ra
+
+#endif // RA_SUPPORT_PARALLELFOR_H

@@ -1,0 +1,131 @@
+//===- tests/MegaKernelTest.cpp - generated giant-function family ---------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The mega-kernel contract: every generated shape is verifier-clean,
+// reaches its advertised live-range scale, allocates with a clean audit,
+// computes the same answers before and after allocation, and colors
+// identically under the sequential and parallel Select engines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "regalloc/Allocator.h"
+#include "regalloc/Coloring.h"
+#include "sim/Simulator.h"
+#include "workloads/MegaKernel.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ra;
+
+namespace {
+
+/// Total interference-graph nodes across both register classes.
+unsigned totalNodes(std::array<ClassGraph, NumRegClasses> &Graphs) {
+  unsigned N = 0;
+  for (ClassGraph &CG : Graphs)
+    N += CG.Graph.numNodes();
+  return N;
+}
+
+TEST(MegaKernelTest, FamiliesAreWellFormedAndUniquelyNamed) {
+  std::set<std::string> Names;
+  for (const auto *Family : {&megaKernelFamily(), &megaKernelTestFamily()})
+    for (const MegaKernel &MK : *Family) {
+      EXPECT_TRUE(Names.insert(MK.Name).second)
+          << "duplicate name " << MK.Name;
+      EXPECT_TRUE(MK.Kind == "ramp" || MK.Kind == "wide" ||
+                  MK.Kind == "random")
+          << MK.Name;
+      EXPECT_TRUE(MK.Build != nullptr) << MK.Name;
+    }
+}
+
+TEST(MegaKernelTest, TestFamilyVerifiesAndReachesScale) {
+  for (const MegaKernel &MK : megaKernelTestFamily()) {
+    Module M;
+    Function &F = MK.Build(M);
+    EXPECT_TRUE(verifyFunction(M, F).empty()) << MK.Name;
+    auto Graphs = buildColoringGraphs(F);
+    // "A few thousand ranges": enough to clear the default parallel
+    // gate, small enough for millisecond tests.
+    EXPECT_GE(totalNodes(Graphs), 1000u) << MK.Name;
+  }
+}
+
+TEST(MegaKernelTest, BenchFamilyHitsTenThousandRanges) {
+  // Only the smallest bench member is built here — the 50k ramp's
+  // triangular bit matrix alone costs ~150 MB and belongs in the bench
+  // binary, not the test suite.
+  Module M;
+  Function &F = megaKernelFamily()[0].Build(M);
+  EXPECT_TRUE(verifyFunction(M, F).empty());
+  auto Graphs = buildColoringGraphs(F);
+  EXPECT_GE(totalNodes(Graphs), 10000u)
+      << "mega.ramp.10k must reach its advertised scale";
+}
+
+TEST(MegaKernelTest, ParallelSelectMatchesSequentialOnEveryShape) {
+  for (const MegaKernel &MK : megaKernelTestFamily()) {
+    Module M;
+    Function &F = MK.Build(M);
+    auto Graphs = buildColoringGraphs(F);
+    for (ClassGraph &CG : Graphs) {
+      if (CG.Graph.numNodes() == 0)
+        continue;
+      // K=6 is tight enough that the ramp/wide shapes spill, so the
+      // spill-order path is compared too, not just clean colorings.
+      ColoringResult Seq = colorGraph(CG.Graph, 6, Heuristic::Briggs);
+      SelectOptions SO;
+      SO.Parallel = true;
+      SO.Threads = 4;
+      SO.MinNodes = 0;
+      ColoringResult Par = colorGraph(CG.Graph, 6, Heuristic::Briggs, SO);
+      EXPECT_EQ(Seq.ColorOf, Par.ColorOf) << MK.Name;
+      EXPECT_EQ(Seq.Spilled, Par.Spilled) << MK.Name;
+      EXPECT_EQ(Seq.SpilledCost, Par.SpilledCost) << MK.Name;
+    }
+  }
+}
+
+TEST(MegaKernelTest, AllocatesAuditCleanAndComputesSameAnswers) {
+  for (const MegaKernel &MK : megaKernelTestFamily()) {
+    Module M;
+    Function &F = MK.Build(M);
+
+    // Golden answer from the virtual-register program.
+    double Golden;
+    {
+      Simulator Sim(M);
+      MemoryImage Mem(M);
+      ExecutionResult R = Sim.runVirtual(F, Mem);
+      ASSERT_TRUE(R.Ok) << MK.Name << ": " << R.Error;
+      Golden = R.FloatReturn;
+      EXPECT_TRUE(std::isfinite(Golden))
+          << MK.Name << ": bounded-combine construction violated";
+    }
+
+    AllocatorConfig C;
+    C.Audit = true;
+    C.ParallelGraph = true;
+    C.ParallelGraphMinNodes = 0;
+    C.ParallelGraphJobs = 3;
+    AllocationResult A = allocateRegisters(F, C);
+    ASSERT_TRUE(A.Success) << MK.Name;
+    EXPECT_EQ(A.Outcome, AllocOutcome::Converged)
+        << MK.Name << ": parallel select failed the audit";
+
+    Simulator Sim(M);
+    MemoryImage Mem(M);
+    ExecutionResult R = Sim.runAllocated(F, A, Mem);
+    ASSERT_TRUE(R.Ok) << MK.Name << ": " << R.Error;
+    EXPECT_EQ(R.FloatReturn, Golden) << MK.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,417 @@
+//===- tests/ParallelColoringTest.cpp - speculate-and-repair select -------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The parallel-Select contract: the speculate-and-repair engine
+// (ParallelSelect.h) reproduces the sequential Select byte-identically
+// at every thread count and chunk size — colors, spill decisions, spill
+// cost sums, everything — and its repair loop terminates. Conflict
+// detection is pinned on hand-built adjacency, including the case a
+// naive validity check would miss (a legal-but-not-greedy color).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "regalloc/Allocator.h"
+#include "regalloc/Coloring.h"
+#include "regalloc/ParallelSelect.h"
+#include "support/Rng.h"
+#include "support/Trace.h"
+#include "workloads/MegaKernel.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ra;
+
+namespace {
+
+InterferenceGraph makeRandomGraph(unsigned NumNodes, double AvgDegree,
+                                  uint64_t Seed) {
+  InterferenceGraph G(NumNodes);
+  Rng R(Seed);
+  uint64_t Edges = uint64_t(NumNodes * AvgDegree / 2);
+  for (uint64_t E = 0; E < Edges; ++E)
+    G.addEdge(R.nextBelow(NumNodes), R.nextBelow(NumNodes));
+  for (unsigned N = 0; N < NumNodes; ++N)
+    G.node(N).SpillCost = double(1 + R.nextBelow(8));
+  G.finalize();
+  return G;
+}
+
+/// Identity select order over a graph's nodes plus its rank array.
+std::vector<uint32_t> identityOrder(const InterferenceGraph &G) {
+  std::vector<uint32_t> Order(G.numNodes());
+  for (uint32_t I = 0; I < G.numNodes(); ++I)
+    Order[I] = I;
+  return Order;
+}
+
+std::vector<uint32_t> rankOf(const InterferenceGraph &G,
+                             const std::vector<uint32_t> &Order) {
+  std::vector<uint32_t> Rank(G.numNodes(), ~0u);
+  for (size_t I = 0; I != Order.size(); ++I)
+    Rank[Order[I]] = uint32_t(I);
+  return Rank;
+}
+
+//===--------------------------------------------------------------------===//
+// The greedy rule and conflict detection, pinned on hand-built graphs.
+//===--------------------------------------------------------------------===//
+
+TEST(ParallelSelectUnitTest, GreedyColorIsFirstFitOverEarlierRanks) {
+  // Path 0-1-2-3, rank = node id, K=2: first-fit gives 0,1,0,1.
+  InterferenceGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  G.finalize();
+  auto Order = identityOrder(G);
+  auto Rank = rankOf(G, Order);
+  std::vector<int32_t> Colors = {0, 1, 0, 1};
+  EXPECT_EQ(greedySelectColor(G, 2, Rank, Colors, 0), 0);
+  EXPECT_EQ(greedySelectColor(G, 2, Rank, Colors, 1), 0 + 1);
+  EXPECT_EQ(greedySelectColor(G, 2, Rank, Colors, 2), 0);
+  EXPECT_EQ(greedySelectColor(G, 2, Rank, Colors, 3), 1);
+  EXPECT_TRUE(findSelectConflicts(G, 2, Order, Colors).empty());
+
+  // Break node 3: color 0 collides with neighbor 2. Exactly rank 3 is
+  // wrong.
+  Colors[3] = 0;
+  EXPECT_EQ(findSelectConflicts(G, 2, Order, Colors),
+            (std::vector<uint32_t>{3}));
+}
+
+TEST(ParallelSelectUnitTest, DetectionFlagsValidButNotGreedyColors) {
+  // Two isolated nodes, K=2, colors {0, 1}: a *valid* coloring — no
+  // edge, no collision — but node 1's greedy color is 0. A detector
+  // that only checked validity would accept it and the engine would
+  // diverge from the sequential oracle; the mex comparison flags it.
+  InterferenceGraph G(2);
+  G.finalize();
+  auto Order = identityOrder(G);
+  std::vector<int32_t> Colors = {0, 1};
+  EXPECT_TRUE(isValidColoring(G, 2, [&] {
+                ColoringResult R;
+                R.ColorOf = Colors;
+                return R;
+              }()));
+  EXPECT_EQ(findSelectConflicts(G, 2, Order, Colors),
+            (std::vector<uint32_t>{1}));
+}
+
+TEST(ParallelSelectUnitTest, MexOverflowMeansSpill) {
+  // Triangle with K=2: the last-ranked node sees both colors taken and
+  // must be -1 (the Briggs select-phase spill). Holding any real color
+  // instead is a conflict.
+  InterferenceGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 2);
+  G.finalize();
+  auto Order = identityOrder(G);
+  auto Rank = rankOf(G, Order);
+  std::vector<int32_t> Colors = {0, 1, -1};
+  EXPECT_EQ(greedySelectColor(G, 2, Rank, Colors, 2), -1);
+  EXPECT_TRUE(findSelectConflicts(G, 2, Order, Colors).empty());
+  Colors[2] = 0;
+  EXPECT_EQ(findSelectConflicts(G, 2, Order, Colors),
+            (std::vector<uint32_t>{2}));
+}
+
+TEST(ParallelSelectUnitTest, ChaitinSpilledNodesNeverConstrain) {
+  // Node 1 is outside the select order (rank ~0u — a Chaitin simplify-
+  // phase spill). Its color must not constrain node 2 even though they
+  // interfere.
+  InterferenceGraph G(3);
+  G.addEdge(0, 2);
+  G.addEdge(1, 2);
+  G.finalize();
+  std::vector<uint32_t> Order = {0, 2}; // node 1 absent
+  auto Rank = rankOf(G, Order);
+  std::vector<int32_t> Colors = {0, 0, -1};
+  EXPECT_EQ(greedySelectColor(G, 2, Rank, Colors, 2), 1)
+      << "only in-order neighbor 0 constrains";
+}
+
+//===--------------------------------------------------------------------===//
+// The engine itself: forced chunking, repair termination, fallback.
+//===--------------------------------------------------------------------===//
+
+TEST(ParallelSelectEngineTest, ForcedTinyChunksConvergeToSequential) {
+  for (uint64_t Seed : {21u, 22u, 23u, 24u}) {
+    InterferenceGraph G = makeRandomGraph(500, 11.0, Seed);
+    ColoringResult Seq = colorGraph(G, 5, Heuristic::Briggs);
+    std::vector<uint32_t> Order(Seq.RemovalOrder.rbegin(),
+                                Seq.RemovalOrder.rend());
+
+    SelectOptions SO;
+    SO.Parallel = true;
+    SO.Threads = 4;
+    SO.MinNodes = 0;
+    SO.ChunkSize = 3; // dozens of chunk boundaries -> real conflicts
+    std::vector<int32_t> Colors(G.numNodes(), -1);
+    std::vector<SelectRound> Rounds;
+    runParallelSelect(G, 5, Order, SO, Colors, Rounds);
+
+    EXPECT_EQ(Colors, Seq.ColorOf) << "seed " << Seed;
+    ASSERT_FALSE(Rounds.empty());
+    EXPECT_EQ(Rounds.back().Conflicts, 0u) << "must end at the fixpoint";
+    EXPECT_LE(Rounds.size(), size_t(SO.MaxRounds) + 2)
+        << "repair did not shrink";
+    // Left to its own devices the fixpoint must verify from scratch.
+    EXPECT_TRUE(findSelectConflicts(G, 5, Order, Colors).empty());
+  }
+}
+
+TEST(ParallelSelectEngineTest, MaxRoundsFallbackSweepIsExact) {
+  // MaxRounds=0 forces the sequential safety-valve sweep immediately
+  // after speculation — from *any* intermediate state it must land on
+  // the oracle coloring.
+  InterferenceGraph G = makeRandomGraph(400, 12.0, 77);
+  ColoringResult Seq = colorGraph(G, 4, Heuristic::Briggs);
+  std::vector<uint32_t> Order(Seq.RemovalOrder.rbegin(),
+                              Seq.RemovalOrder.rend());
+
+  SelectOptions SO;
+  SO.Parallel = true;
+  SO.Threads = 4;
+  SO.MinNodes = 0;
+  SO.ChunkSize = 2;
+  SO.MaxRounds = 0;
+  std::vector<int32_t> Colors(G.numNodes(), -1);
+  std::vector<SelectRound> Rounds;
+  runParallelSelect(G, 4, Order, SO, Colors, Rounds);
+
+  EXPECT_EQ(Colors, Seq.ColorOf);
+  ASSERT_GE(Rounds.size(), 1u);
+  EXPECT_LE(Rounds.size(), 2u) << "fallback must run at most once";
+}
+
+TEST(ParallelSelectEngineTest, SingleThreadIsPureGaussSeidel) {
+  // One thread, one chunk: speculation alone is the sequential loop, so
+  // there must be zero candidates and zero conflicts.
+  InterferenceGraph G = makeRandomGraph(300, 9.0, 5);
+  ColoringResult Seq = colorGraph(G, 4, Heuristic::Briggs);
+  std::vector<uint32_t> Order(Seq.RemovalOrder.rbegin(),
+                              Seq.RemovalOrder.rend());
+  SelectOptions SO;
+  SO.Parallel = true;
+  SO.Threads = 1;
+  SO.MinNodes = 0;
+  std::vector<int32_t> Colors(G.numNodes(), -1);
+  std::vector<SelectRound> Rounds;
+  runParallelSelect(G, 4, Order, SO, Colors, Rounds);
+  EXPECT_EQ(Colors, Seq.ColorOf);
+  ASSERT_EQ(Rounds.size(), 1u);
+  EXPECT_EQ(Rounds[0].Checked, 0u);
+  EXPECT_EQ(Rounds[0].Conflicts, 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// colorGraph dispatch: byte-identical results for every configuration.
+//===--------------------------------------------------------------------===//
+
+void expectSameColoring(const ColoringResult &A, const ColoringResult &B,
+                        const std::string &What) {
+  EXPECT_EQ(A.ColorOf, B.ColorOf) << What;
+  EXPECT_EQ(A.Spilled, B.Spilled) << What;
+  EXPECT_EQ(A.RemovalOrder, B.RemovalOrder) << What;
+  EXPECT_EQ(A.SpilledCost, B.SpilledCost) << What; // exact: same FP order
+  EXPECT_EQ(A.NumColorsUsed, B.NumColorsUsed) << What;
+}
+
+TEST(ParallelColoringTest, ByteIdenticalAcrossThreadsChunksHeuristics) {
+  for (uint64_t Seed : {31u, 32u, 33u}) {
+    InterferenceGraph G = makeRandomGraph(600, 13.0, Seed);
+    for (Heuristic H :
+         {Heuristic::Chaitin, Heuristic::Briggs, Heuristic::MatulaBeck}) {
+      ColoringResult Seq = colorGraph(G, 6, H);
+      for (unsigned Threads : {1u, 2u, 3u, 8u}) {
+        for (unsigned Chunk : {0u, 7u}) {
+          SelectOptions SO;
+          SO.Parallel = true;
+          SO.Threads = Threads;
+          SO.MinNodes = 0;
+          SO.ChunkSize = Chunk;
+          ColoringResult Par = colorGraph(G, 6, H, SO);
+          EXPECT_TRUE(Par.ParallelSelect);
+          expectSameColoring(Seq, Par,
+                             std::string(heuristicName(H)) + " seed " +
+                                 std::to_string(Seed) + " threads " +
+                                 std::to_string(Threads) + " chunk " +
+                                 std::to_string(Chunk));
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelColoringTest, MinNodesGateKeepsSmallGraphsSequential) {
+  InterferenceGraph G = makeRandomGraph(100, 6.0, 9);
+  SelectOptions SO;
+  SO.Parallel = true;
+  SO.MinNodes = 1000; // above the graph size
+  ColoringResult R = colorGraph(G, 4, Heuristic::Briggs, SO);
+  EXPECT_FALSE(R.ParallelSelect);
+  EXPECT_TRUE(R.SelectRounds.empty());
+  expectSameColoring(colorGraph(G, 4, Heuristic::Briggs), R, "gated");
+}
+
+//===--------------------------------------------------------------------===//
+// End-to-end: --parallel-graph through the whole allocator.
+//===--------------------------------------------------------------------===//
+
+void buildCorpusModule(Module &M, uint64_t Salt) {
+  for (uint64_t I = 0; I < 6; ++I)
+    buildRandomProgram(M, Salt + I);
+  buildDAXPY(M);
+  buildDDOT(M);
+  buildQuicksort(M, 1000);
+}
+
+struct ModuleSnapshot {
+  std::vector<std::string> Printed;
+  std::vector<std::vector<int32_t>> Colors;
+  std::vector<std::vector<std::string>> SpilledNames;
+  bool Success = true;
+
+  bool operator==(const ModuleSnapshot &O) const = default;
+};
+
+ModuleSnapshot allocateSnapshot(uint64_t Salt, const AllocatorConfig &C) {
+  Module M;
+  buildCorpusModule(M, Salt);
+  ModuleAllocationResult R = allocateModule(M, C);
+  ModuleSnapshot S;
+  S.Success = R.allSucceeded();
+  for (unsigned I = 0; I < M.numFunctions(); ++I) {
+    S.Printed.push_back(printFunction(M, M.function(I)));
+    S.Colors.push_back(R.Functions[I].ColorOf);
+    std::vector<std::string> Names;
+    for (const PassRecord &P : R.Functions[I].Stats.Passes)
+      Names.insert(Names.end(), P.SpilledNames.begin(),
+                   P.SpilledNames.end());
+    S.SpilledNames.push_back(std::move(Names));
+  }
+  return S;
+}
+
+TEST(ParallelGraphAllocTest, ModuleByteIdentical1vsN) {
+  AllocatorConfig C;
+  C.Machine = MachineInfo(8, 6); // tight enough to force spills
+  ModuleSnapshot Serial = allocateSnapshot(6100, C);
+  ASSERT_TRUE(Serial.Success);
+
+  // MinNodes=0 so even the corpus-sized graphs exercise the engine.
+  for (unsigned GraphJobs : {1u, 3u, 8u}) {
+    for (unsigned Jobs : {1u, 4u}) {
+      AllocatorConfig P = C;
+      P.ParallelGraph = true;
+      P.ParallelGraphMinNodes = 0;
+      P.ParallelGraphJobs = GraphJobs;
+      P.Jobs = Jobs;
+      ModuleSnapshot Par = allocateSnapshot(6100, P);
+      EXPECT_TRUE(Serial == Par)
+          << "graph-jobs=" << GraphJobs << " jobs=" << Jobs;
+    }
+  }
+}
+
+TEST(ParallelGraphAllocTest, TraceCountersAndPerRoundInstants) {
+  trace::beginSession();
+  InterferenceGraph G = makeRandomGraph(600, 13.0, 41);
+  SelectOptions SO;
+  SO.Parallel = true;
+  SO.Threads = 4;
+  SO.MinNodes = 0;
+  SO.ChunkSize = 5;
+  ColoringResult R = colorGraph(G, 6, Heuristic::Briggs, SO);
+  trace::SessionLog Log = trace::endSession();
+
+  ASSERT_TRUE(R.ParallelSelect);
+  EXPECT_EQ(Log.counter("coloring.parallel.selects"), 1.0);
+  EXPECT_EQ(Log.counter("coloring.parallel.rounds"),
+            double(R.SelectRounds.size()));
+  double Conflicts = 0;
+  for (const SelectRound &SR : R.SelectRounds)
+    Conflicts += SR.Conflicts;
+  EXPECT_EQ(Log.counter("coloring.parallel.conflicts"), Conflicts);
+
+  // One per-round instant under the "sched" category (the one
+  // normalizedLog drops, because round shapes are scheduling-dependent).
+  unsigned RoundEvents = 0;
+  for (const trace::Event &E : Log.Events)
+    if (std::string(E.Name) == "SelectRound") {
+      EXPECT_STREQ(E.Category, "sched");
+      ++RoundEvents;
+    }
+  EXPECT_EQ(RoundEvents, unsigned(R.SelectRounds.size()));
+}
+
+TEST(ParallelGraphAllocTest, MetricsCsvCarriesSelectRounds) {
+  // The select_rounds CSV column: nonzero when the parallel engine ran,
+  // uniform across every row of one function (it is a per-class-graph
+  // property), and the header names it.
+  Module M;
+  Function &F = megaKernelTestFamily()[0].Build(M);
+  AllocatorConfig C;
+  C.ParallelGraph = true;
+  C.ParallelGraphMinNodes = 0;
+  C.ParallelGraphJobs = 4;
+  C.CollectMetrics = true;
+  AllocationResult A = allocateRegisters(F, C);
+  ASSERT_TRUE(A.Success);
+  ASSERT_FALSE(A.Metrics.empty());
+
+  EXPECT_NE(metricsCsvHeader().find("select_rounds"), std::string::npos);
+  unsigned NonZero = 0;
+  for (const RangeMetrics &RM : A.Metrics)
+    NonZero += RM.SelectRounds > 0;
+  EXPECT_GT(NonZero, 0u) << "parallel rounds must reach the metrics table";
+
+  std::string Csv;
+  appendMetricsCsv(Csv, "mini", A.Metrics);
+  std::string FirstLine = Csv.substr(0, Csv.find('\n'));
+  std::string Tail = "," + std::to_string(A.Metrics.front().SelectRounds);
+  ASSERT_GE(FirstLine.size(), Tail.size());
+  EXPECT_EQ(FirstLine.substr(FirstLine.size() - Tail.size()), Tail);
+}
+
+TEST(ParallelGraphAllocTest, MegaKernelFamilyByteIdentical) {
+  for (const MegaKernel &MK : megaKernelTestFamily()) {
+    Module M1, M2;
+    Function &F1 = MK.Build(M1);
+    Function &F2 = MK.Build(M2);
+
+    AllocatorConfig Seq;
+    Seq.Audit = true;
+    AllocatorConfig Par = Seq;
+    Par.ParallelGraph = true;
+    Par.ParallelGraphMinNodes = 0;
+    Par.ParallelGraphJobs = 5;
+
+    AllocationResult R1 = allocateRegisters(F1, Seq);
+    AllocationResult R2 = allocateRegisters(F2, Par);
+    ASSERT_TRUE(R1.Success && R2.Success) << MK.Name;
+    EXPECT_EQ(R1.Outcome, AllocOutcome::Converged) << MK.Name;
+    EXPECT_EQ(R2.Outcome, AllocOutcome::Converged)
+        << MK.Name << ": parallel select must pass the audit";
+    EXPECT_EQ(R1.ColorOf, R2.ColorOf) << MK.Name;
+    EXPECT_EQ(printFunction(M1, F1), printFunction(M2, F2)) << MK.Name;
+
+    // The engine actually engaged and its telemetry landed in the pass
+    // records (rounds are scheduling-dependent, so only presence is
+    // asserted).
+    unsigned Rounds = 0;
+    for (const PassRecord &P : R2.Stats.Passes)
+      Rounds += P.SelectRounds;
+    EXPECT_GE(Rounds, 1u) << MK.Name;
+  }
+}
+
+} // namespace

@@ -17,6 +17,13 @@
 //   --jobs N             allocate functions on N pool workers
 //                        (0 = one per hardware thread; output is
 //                        bit-identical at any setting)
+//   --parallel-graph[=N] speculate-and-repair parallel Select inside
+//                        each interference graph on N threads (0 = one
+//                        per hardware thread); byte-identical to the
+//                        sequential phase at any N
+//   --parallel-graph-min N
+//                        smallest select stack that engages the
+//                        parallel engine (default 2048)
 //   --no-opt             skip LICM/strength reduction/value numbering
 //   --remat              rematerialize constant spills
 //   --split / --no-split interval splitting in the linear-scan backend
@@ -64,6 +71,7 @@ void usage(const char *Prog) {
       "usage: %s FILE.ral... "
       "[--allocator chaitin|briggs|matula-beck|linear-scan]\n"
       "       [--int K] [--flt K] [--jobs N] [--no-opt] [--remat]\n"
+      "       [--parallel-graph[=N]] [--parallel-graph-min N]\n"
       "       [--split] [--no-split]\n"
       "       [--audit] [--no-audit] [--print] [--run] [--quiet]\n"
       "       [--bench-json FILE] [--trace FILE] [--metrics FILE]\n"
@@ -84,6 +92,9 @@ struct Options {
   Backend B = Backend::GraphColoring;
   Heuristic H = Heuristic::Briggs;
   unsigned IntK = 16, FltK = 8, Jobs = 1;
+  bool ParallelGraph = false;          ///< --parallel-graph
+  unsigned ParallelGraphJobs = 0;      ///< thread count (0 = hardware)
+  unsigned ParallelGraphMinNodes = 2048; ///< --parallel-graph-min
   bool Optimize = true, Remat = false, Audit = true, Split = true;
   bool Print = false, Run = false, Quiet = false;
   std::string TracePath;   ///< --trace: Chrome trace JSON output.
@@ -131,6 +142,9 @@ Status processFile(const std::string &Path, const Options &Opt,
   C.Rematerialize = Opt.Remat;
   C.SplitIntervals = Opt.Split;
   C.Jobs = Opt.Jobs;
+  C.ParallelGraph = Opt.ParallelGraph;
+  C.ParallelGraphJobs = Opt.ParallelGraphJobs;
+  C.ParallelGraphMinNodes = Opt.ParallelGraphMinNodes;
   C.Audit = Opt.Audit;
   C.CollectMetrics = !Opt.MetricsPath.empty();
   ModuleAllocationResult MA = allocateModule(M, C);
@@ -249,6 +263,13 @@ int main(int Argc, char **Argv) {
       Opt.FltK = unsigned(std::atoi(Argv[++I]));
     } else if (Arg == "--jobs" && I + 1 < Argc) {
       Opt.Jobs = unsigned(std::atoi(Argv[++I]));
+    } else if (Arg == "--parallel-graph") {
+      Opt.ParallelGraph = true;
+    } else if (Arg.rfind("--parallel-graph=", 0) == 0) {
+      Opt.ParallelGraph = true;
+      Opt.ParallelGraphJobs = unsigned(std::atoi(Arg.c_str() + 17));
+    } else if (Arg == "--parallel-graph-min" && I + 1 < Argc) {
+      Opt.ParallelGraphMinNodes = unsigned(std::atoi(Argv[++I]));
     } else if (Arg == "--no-opt") {
       Opt.Optimize = false;
     } else if (Arg == "--remat") {
@@ -338,6 +359,8 @@ int main(int Argc, char **Argv) {
     J.set("backend", std::string(backendName(Opt.B)));
     J.set("heuristic", std::string(heuristicName(Opt.H)));
     J.set("jobs", Opt.Jobs);
+    J.set("parallel_graph", Opt.ParallelGraph ? 1 : 0);
+    J.set("parallel_graph_jobs", Opt.ParallelGraphJobs);
     J.set("functions", T.Functions);
     J.set("wall_seconds", T.Wall);
     J.set("graphs_colored", T.Graphs);

@@ -33,9 +33,10 @@
 //   --seeds N       number of seeds to run (default 1000)
 //   --start S       first seed (default 0)
 //   --allocators L  comma-separated allocator list (chaitin, briggs,
-//                   matula-beck, linear-scan, linear-scan-nosplit);
-//                   default chaitin,briggs,linear-scan,
-//                   linear-scan-nosplit
+//                   briggs-parallel, matula-beck, linear-scan,
+//                   linear-scan-nosplit);
+//                   default chaitin,briggs,briggs-parallel,
+//                   linear-scan,linear-scan-nosplit
 //   --audit         run the in-allocator audit too (default on)
 //   --no-audit      rely on this tool's external checks only
 //   --fault-inject  deliberately miscolor / fail convergence and demand
@@ -84,10 +85,16 @@ struct AllocatorChoice {
   Backend B = Backend::GraphColoring;
   Heuristic H = Heuristic::Briggs;
   bool Split = true;
+  /// Graph coloring only: run the speculate-and-repair parallel Select
+  /// (gate forced to 0 so even fuzz-sized graphs exercise it). Must be
+  /// indistinguishable from plain briggs in every observable.
+  bool ParallelGraph = false;
 
   const char *name() const {
     if (B == Backend::LinearScan && !Split)
       return "linear-scan-nosplit";
+    if (B == Backend::GraphColoring && ParallelGraph)
+      return "briggs-parallel";
     return allocatorName(B, H);
   }
 };
@@ -99,6 +106,8 @@ struct AllocatorChoice {
 std::vector<AllocatorChoice> defaultAllocators() {
   return {{Backend::GraphColoring, Heuristic::Chaitin},
           {Backend::GraphColoring, Heuristic::Briggs},
+          {Backend::GraphColoring, Heuristic::Briggs, /*Split=*/true,
+           /*ParallelGraph=*/true},
           {Backend::LinearScan, Heuristic::Briggs},
           {Backend::LinearScan, Heuristic::Briggs, /*Split=*/false}};
 }
@@ -171,6 +180,11 @@ bool runOne(const FuzzCase &FC, AllocatorChoice AC, bool Audit,
   C.H = AC.H;
   C.Machine = MachineInfo(FC.IntK, FC.FltK);
   C.SplitIntervals = AC.Split;
+  if (AC.ParallelGraph) {
+    C.ParallelGraph = true;
+    C.ParallelGraphMinNodes = 0; // fuzz graphs are small; force the engine
+    C.ParallelGraphJobs = 3;     // odd count -> uneven chunk boundaries
+  }
   C.MaxPasses = 64; // Matula-Beck-style worst cases need headroom
   C.Audit = Audit || FaultInject; // injected faults must be caught
   if (FaultInject) {
@@ -357,6 +371,8 @@ bool dumpReproducer(const std::string &Path, const FuzzCase &FC,
   for (const AllocatorChoice &AC : Allocs)
     Out << "; replay: rac " << Path << " --allocator "
         << allocatorName(AC.B, AC.H) << (AC.Split ? "" : " --no-split")
+        << (AC.ParallelGraph ? " --parallel-graph=3 --parallel-graph-min 0"
+                             : "")
         << " --int " << FC.IntK << " --flt " << FC.FltK << " --run"
         << (FC.Optimize ? "" : " --no-opt") << "\n";
   Out << printModule(M);
@@ -393,9 +409,10 @@ void usage(const char *Prog) {
                "usage: %s [--seeds N] [--start S] [--allocators A,B,...]\n"
                "       [--audit|--no-audit] [--fault-inject] [--out FILE]\n"
                "       [--emit-corpus DIR] [--quiet]\n"
-               "allocators: chaitin, briggs, matula-beck, linear-scan,\n"
-               "            linear-scan-nosplit (default chaitin,briggs,\n"
-               "            linear-scan,linear-scan-nosplit)\n",
+               "allocators: chaitin, briggs, briggs-parallel, matula-beck,\n"
+               "            linear-scan, linear-scan-nosplit (default\n"
+               "            chaitin,briggs,briggs-parallel,linear-scan,\n"
+               "            linear-scan-nosplit)\n",
                Prog);
 }
 
@@ -414,11 +431,13 @@ bool parseAllocatorList(const std::string &List,
     if (Name == "linear-scan-nosplit") {
       AC.B = Backend::LinearScan;
       AC.Split = false;
+    } else if (Name == "briggs-parallel") {
+      AC.ParallelGraph = true;
     } else if (!parseAllocatorName(Name, AC.B, AC.H)) {
       std::fprintf(stderr,
                    "ralfuzz: unknown allocator '%s' (expected chaitin, "
-                   "briggs, matula-beck, linear-scan, or "
-                   "linear-scan-nosplit)\n",
+                   "briggs, briggs-parallel, matula-beck, linear-scan, "
+                   "or linear-scan-nosplit)\n",
                    Name.c_str());
       return false;
     }
