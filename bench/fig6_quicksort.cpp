@@ -73,7 +73,7 @@ Config measure(unsigned K, Heuristic H) {
   MemoryImage Mem(M);
   initQuicksortMemory(M, Mem);
   Simulator Sim(M);
-  ExecutionResult Run = Sim.runAllocated(F, A, Mem, 1ull << 33);
+  ExecutionResult Run = Sim.runAllocated(F, A, Mem, SimOptions{.MaxInstructions = 1ull << 33});
   if (!Run.Ok)
     std::fprintf(stderr, "simulation trapped at k=%u: %s\n", K,
                  Run.Error.c_str());

@@ -139,15 +139,18 @@ int main(int Argc, char **Argv) {
   std::string JsonPath = BenchJson::consumeFlag(Argc, Argv);
   unsigned MaxJobs = 8;
   unsigned Repeats = 3;
+  uint64_t MemBudgetBytes = 0;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
       MaxJobs = unsigned(std::atoi(Argv[++I]));
     else if (std::strcmp(Argv[I], "--repeats") == 0 && I + 1 < Argc)
       Repeats = unsigned(std::atoi(Argv[++I]));
+    else if (std::strcmp(Argv[I], "--mem-budget-mb") == 0 && I + 1 < Argc)
+      MemBudgetBytes = uint64_t(std::atoll(Argv[++I])) << 20;
     else {
       std::fprintf(stderr,
                    "usage: megakernel_scaling [--jobs N] [--repeats N] "
-                   "[--bench-json FILE]\n");
+                   "[--mem-budget-mb N] [--bench-json FILE]\n");
       return 2;
     }
   }
@@ -165,6 +168,15 @@ int main(int Argc, char **Argv) {
   // Generated kernels: build the IR, replicate the build phase, then
   // race sequential vs. parallel Select on the biggest class graph.
   for (const MegaKernel &MK : megaKernelFamily()) {
+    // Capacity guard: refuse a kernel whose triangular interference
+    // matrix would blow the budget *before* building any IR, with the
+    // remedy in the message — not a silent attempt that OOMs mid-run.
+    if (Status Cap = checkMegaKernelCapacity(MK, MemBudgetBytes); !Cap.ok()) {
+      std::fprintf(stderr, "megakernel_scaling: skipping %s\n",
+                   Cap.toString().c_str());
+      J.set(MK.Name + ".skipped", Cap.toString());
+      continue;
+    }
     Module M;
     Function &F = MK.Build(M);
     auto Graphs = buildColoringGraphs(F);
@@ -184,7 +196,12 @@ int main(int Argc, char **Argv) {
   }
 
   // End-to-end proof: the engine inside the full allocator, audited.
-  {
+  if (Status Cap = checkMegaKernelCapacity(megaKernelFamily()[0],
+                                           MemBudgetBytes);
+      !Cap.ok()) {
+    std::fprintf(stderr, "megakernel_scaling: skipping end-to-end: %s\n",
+                 Cap.toString().c_str());
+  } else {
     Module M;
     Function &F = megaKernelFamily()[0].Build(M);
     AllocatorConfig C;

@@ -43,7 +43,8 @@ int main() {
     MemoryImage Mem(M);
     initQuicksortMemory(M, Mem);
     Simulator Sim(M);
-    ExecutionResult R = Sim.runAllocated(F, A, Mem, 1ull << 33);
+    ExecutionResult R =
+        Sim.runAllocated(F, A, Mem, SimOptions{.MaxInstructions = 1ull << 33});
     if (!R.Ok) {
       std::fprintf(stderr, "trap at k=%u: %s\n", K, R.Error.c_str());
       return 1;

@@ -36,6 +36,7 @@
 #include "linearscan/LinearScan.h"
 
 #include "regalloc/InterferenceGraph.h"
+#include "support/Budget.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
@@ -87,6 +88,8 @@ public:
     Out.LiveRanges += Seeded;
 
     while (!Queue.empty()) {
+      if (Opts.Governor && !Opts.Governor->checkpoint())
+        return; // over budget: abandon the walk, caller discards Out
       QueueEnt Q = Queue.top();
       Queue.pop();
       uint32_t Cur = Q.PieceIdx;

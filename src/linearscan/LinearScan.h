@@ -53,6 +53,8 @@
 
 namespace ra {
 
+class Budget;
+
 /// Walk policy knobs.
 struct ScanOptions {
   /// Second-chance binpacking (see file comment). Off restores the
@@ -62,6 +64,11 @@ struct ScanOptions {
   /// bound falls back to suffix spilling. Keeps the piece count — and
   /// with it termination — trivially bounded.
   unsigned MaxSplitsPerRange = 4;
+  /// Resource-governance token (support/Budget.h), or null for the
+  /// ungoverned default. The walk polls it per dequeued piece; a trip
+  /// abandons the walk mid-queue, leaving the ScanResult partial —
+  /// governed callers must check the token before trusting a result.
+  Budget *Governor = nullptr;
 };
 
 /// Outcome of one interval walk over both register classes.

@@ -22,8 +22,12 @@
 #include "analysis/Renumber.h"
 #include "linearscan/LinearScan.h"
 #include "regalloc/SpillCost.h"
+#include "support/Budget.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+
+#include <chrono>
+#include <thread>
 
 using namespace ra;
 
@@ -79,10 +83,30 @@ RangeMetrics intervalRow(const Function &F, const LiveInterval &I,
 
 } // namespace
 
+namespace {
+
+/// Renders a tripped budget as this backend run's Failed result (the
+/// linear-scan twin of the helper in Allocator.cpp). The IR is valid —
+/// loops back out only at whole-unit boundaries — so the ladder can
+/// still run spill-everything on the function.
+AllocationResult overBudget(AllocationResult Result, Budget &Gov,
+                            unsigned Pass) {
+  Result.Success = false;
+  Result.Outcome = AllocOutcome::Failed;
+  Status S = Gov.status();
+  S.addContext("pass " + std::to_string(Pass));
+  Result.Diag = std::move(S);
+  Result.ColorOf.clear();
+  Result.Pieces.clear();
+  return Result;
+}
+
+} // namespace
+
 AllocationResult ra::runLinearScanPasses(Function &F,
                                          const AllocatorConfig &C,
-                                         const CFG &G,
-                                         const LoopInfo &Loops) {
+                                         const CFG &G, const LoopInfo &Loops,
+                                         Budget *Gov) {
   AllocationResult Result;
   Result.Machine = C.Machine;
 
@@ -90,6 +114,11 @@ AllocationResult ra::runLinearScanPasses(Function &F,
     PassRecord Rec;
     RA_TRACE_SPAN("Pass", "linearscan",
                   [&] { return "pass=" + std::to_string(Pass); });
+    if (C.FaultInject.SlowPhaseMicros)
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(C.FaultInject.SlowPhaseMicros));
+    if (Gov && Gov->expired())
+      return overBudget(std::move(Result), *Gov, Pass);
 
     //===----------------------------------------------------------===//
     // Build: renumber, coalesce, number slots, intervals, costs.
@@ -102,7 +131,7 @@ AllocationResult ra::runLinearScanPasses(Function &F,
       renumberLiveRanges(F, G);
     }
     if (C.Coalesce) {
-      CoalesceStats CS = coalesceAll(F, G, C.Coalescing, C.Machine);
+      CoalesceStats CS = coalesceAll(F, G, C.Coalescing, C.Machine, Gov);
       Result.Stats.CopiesCoalesced += CS.CopiesRemoved;
       if (C.CollectMetrics)
         for (const CoalescedCopy &CC : CS.Merges) {
@@ -129,6 +158,10 @@ AllocationResult ra::runLinearScanPasses(Function &F,
     BuildTimer.stop();
     Rec.BuildSeconds = BuildTimer.seconds();
     BuildSpan.close();
+    if (Gov && Gov->expired()) {
+      Result.Stats.Passes.push_back(std::move(Rec));
+      return overBudget(std::move(Result), *Gov, Pass);
+    }
 
     //===----------------------------------------------------------===//
     // Scan: one start-ordered walk decides every interval. The walk
@@ -137,7 +170,13 @@ AllocationResult ra::runLinearScanPasses(Function &F,
     //===----------------------------------------------------------===//
     ScanOptions SO;
     SO.SplitIntervals = C.SplitIntervals;
+    SO.Governor = Gov;
     ScanResult Scan = scanIntervals(LI, C.Machine, SO);
+    if (Gov && Gov->expired()) {
+      // The walk was abandoned mid-queue; its spill set is partial.
+      Result.Stats.Passes.push_back(std::move(Rec));
+      return overBudget(std::move(Result), *Gov, Pass);
+    }
     Rec.LiveRanges = Scan.LiveRanges;
     Rec.SelectSeconds = Scan.WalkSeconds;
     Rec.SpilledLiveRanges = Scan.Spilled.size();

@@ -27,14 +27,19 @@
 
 namespace ra {
 
+class Budget;
 class CFG;
 class LoopInfo;
 
 /// Runs the multi-pass linear-scan primary allocation on \p F. Performs
 /// no auditing and no fallback — allocateRegisters layers the ladder on
-/// top, identically for every backend.
+/// top, identically for every backend. \p Gov (may be null) is the
+/// function's resource-governance token: the coalesce loop and the
+/// interval walk poll it, and a trip returns a Failed result carrying
+/// the budget status for the ladder to act on.
 AllocationResult runLinearScanPasses(Function &F, const AllocatorConfig &C,
-                                     const CFG &G, const LoopInfo &Loops);
+                                     const CFG &G, const LoopInfo &Loops,
+                                     Budget *Gov = nullptr);
 
 } // namespace ra
 

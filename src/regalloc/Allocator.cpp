@@ -26,10 +26,12 @@
 #include "regalloc/BuildGraph.h"
 #include "regalloc/Coalesce.h"
 #include "regalloc/SpillCost.h"
+#include "support/Budget.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 #include <string_view>
@@ -209,12 +211,43 @@ RangeMetrics rangeRow(const Function &F, const ClassGraph &CG,
   return RM;
 }
 
+/// Renders a tripped budget as this backend run's Failed result. The
+/// partial allocation state (colors, pieces) is wiped — the IR itself
+/// is valid (loops only back out at whole-unit boundaries), so the
+/// ladder can rerun a cheaper engine on the same function.
+AllocationResult overBudget(AllocationResult Result, Budget &Gov,
+                            unsigned Pass) {
+  Result.Success = false;
+  Result.Outcome = AllocOutcome::Failed;
+  Status S = Gov.status();
+  S.addContext("pass " + std::to_string(Pass));
+  Result.Diag = std::move(S);
+  Result.ColorOf.clear();
+  Result.Pieces.clear();
+  return Result;
+}
+
+/// FaultInjectOptions::SlowPhaseMicros — stall so a tiny test deadline
+/// trips deterministically regardless of machine speed.
+void injectSlowPhase(const AllocatorConfig &C) {
+  if (C.FaultInject.SlowPhaseMicros)
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(C.FaultInject.SlowPhaseMicros));
+}
+
 /// The Figure 4 loop: renumber -> [build -> coalesce -> costs ->
 /// simplify -> select -> spill]* until no pass spills. Sets Success and
 /// a NonConvergence diagnostic, but performs no auditing or fallback —
 /// allocateRegisters layers those on top.
+///
+/// With a governed \p Gov: each pass charges the estimated size of its
+/// interference matrices before building them (a refusal exits before
+/// the bytes exist), every long loop polls the token, and phase
+/// boundaries force a deadline check, so a trip surfaces as a Failed
+/// over-budget result within one phase of the expiry.
 AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
-                                   const CFG &G, const LoopInfo &Loops) {
+                                   const CFG &G, const LoopInfo &Loops,
+                                   Budget *Gov) {
   AllocationResult Result;
   Result.Machine = C.Machine;
 
@@ -222,6 +255,9 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
     PassRecord Rec;
     RA_TRACE_SPAN("Pass", "regalloc",
                   [&] { return "pass=" + std::to_string(Pass); });
+    injectSlowPhase(C);
+    if (Gov && Gov->expired())
+      return overBudget(std::move(Result), *Gov, Pass);
 
     //===----------------------------------------------------------===//
     // Build: renumber, coalesce, build graphs, compute spill costs.
@@ -234,7 +270,7 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
       renumberLiveRanges(F, G);
     }
     if (C.Coalesce) {
-      CoalesceStats CS = coalesceAll(F, G, C.Coalescing, C.Machine);
+      CoalesceStats CS = coalesceAll(F, G, C.Coalescing, C.Machine, Gov);
       Result.Stats.CopiesCoalesced += CS.CopiesRemoved;
       if (C.CollectMetrics)
         for (const CoalescedCopy &CC : CS.Merges) {
@@ -249,8 +285,26 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
       if (CS.CopiesRemoved != 0)
         renumberLiveRanges(F, G); // compact ids merged away
     }
+    // Charge the matrices *before* they exist: the triangular bit
+    // matrix is the allocation that OOMs at scale, and refusing it up
+    // front turns a would-be OOM into a clean over-budget exit. The
+    // charge is held for the pass (the graphs die with the iteration).
+    uint64_t GraphBytes = 0;
+    if (Gov) {
+      std::array<uint64_t, NumRegClasses> ClassNodes{};
+      for (VRegId R = 0; R < F.numVRegs(); ++R)
+        ++ClassNodes[static_cast<unsigned>(F.regClass(R))];
+      for (uint64_t N : ClassNodes)
+        GraphBytes += InterferenceGraph::estimateBytes(N);
+      if (C.FaultInject.GraphMemorySpike)
+        GraphBytes += uint64_t(1) << 30; // pretend the graph is ~1 GB bigger
+    }
+    ScopedCharge GraphCharge(Gov, GraphBytes);
+    if (!GraphCharge.granted())
+      return overBudget(std::move(Result), *Gov, Pass);
+
     Liveness LV = Liveness::compute(F, G);
-    auto Graphs = buildInterferenceGraphs(F, LV);
+    auto Graphs = buildInterferenceGraphs(F, LV, Gov);
     std::vector<double> Costs = computeSpillCosts(F, Loops, C.Costs);
     std::vector<double> Area;
     std::vector<unsigned> DepthOf;
@@ -264,6 +318,10 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
     BuildTimer.stop();
     Rec.BuildSeconds = BuildTimer.seconds();
     BuildSpan.close();
+    if (Gov && Gov->expired()) {
+      Result.Stats.Passes.push_back(std::move(Rec));
+      return overBudget(std::move(Result), *Gov, Pass);
+    }
 
     //===----------------------------------------------------------===//
     // Simplify + select, one class at a time.
@@ -275,6 +333,7 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
     SelOpts.Parallel = C.ParallelGraph;
     SelOpts.Threads = C.ParallelGraphJobs;
     SelOpts.MinNodes = C.ParallelGraphMinNodes;
+    SelOpts.Governor = Gov;
     bool Concurrent =
         C.ParallelClasses &&
         Graphs[0].Graph.numNodes() >= ParallelClassThreshold &&
@@ -301,6 +360,12 @@ AllocationResult runColoringPasses(Function &F, const AllocatorConfig &C,
         Colorings[Cls] = colorGraph(Graphs[Cls].Graph,
                                     C.Machine.numRegs(Graphs[Cls].Class),
                                     C.H, SelOpts);
+    }
+    if (Gov && Gov->expired()) {
+      // A class coloring was abandoned mid-phase; its ColoringResult is
+      // partial and must not feed spill decisions.
+      Result.Stats.Passes.push_back(std::move(Rec));
+      return overBudget(std::move(Result), *Gov, Pass);
     }
     for (unsigned Cls = 0; Cls < NumRegClasses; ++Cls) {
       ClassGraph &CG = Graphs[Cls];
@@ -400,7 +465,9 @@ AllocationResult spillEverything(Function &F, const AllocatorConfig &C,
   FallbackC.Coalesce = false; // no copies worth merging among temporaries
   FallbackC.FaultInject = {}; // the fallback must stay unbroken
   FallbackC.MaxPasses = 8;
-  return runColoringPasses(F, FallbackC, G, Loops);
+  // The bottom rung runs ungoverned: it is the guaranteed-progress
+  // escape hatch, and its residual graph is tiny by construction.
+  return runColoringPasses(F, FallbackC, G, Loops, /*Gov=*/nullptr);
 }
 
 /// Backend.h's engine for Backend::GraphColoring.
@@ -408,9 +475,9 @@ class GraphColoringBackend final : public AllocatorBackend {
 public:
   const char *name() const override { return "graph-coloring"; }
   AllocationResult runPasses(Function &F, const AllocatorConfig &C,
-                             const CFG &G,
-                             const LoopInfo &Loops) const override {
-    return runColoringPasses(F, C, G, Loops);
+                             const CFG &G, const LoopInfo &Loops,
+                             Budget *Gov) const override {
+    return runColoringPasses(F, C, G, Loops, Gov);
   }
 };
 
@@ -419,9 +486,9 @@ class LinearScanBackend final : public AllocatorBackend {
 public:
   const char *name() const override { return "linear-scan"; }
   AllocationResult runPasses(Function &F, const AllocatorConfig &C,
-                             const CFG &G,
-                             const LoopInfo &Loops) const override {
-    return runLinearScanPasses(F, C, G, Loops);
+                             const CFG &G, const LoopInfo &Loops,
+                             Budget *Gov) const override {
+    return runLinearScanPasses(F, C, G, Loops, Gov);
   }
 };
 
@@ -465,21 +532,76 @@ AllocationResult ra::allocateRegisters(Function &F,
   Dominators Doms = Dominators::compute(F, G);
   LoopInfo Loops = LoopInfo::compute(F, G, Doms);
 
+  // Per-function resource-governance token. Each function gets its own
+  // (allocateModule shares nothing across workers), so one pathological
+  // sibling can never drain another function's budget.
+  Budget Token;
+  if (C.governed())
+    Token.arm(C.DeadlineSeconds, C.MemoryBudgetBytes);
+  Budget *Gov = C.governed() ? &Token : nullptr;
+
+  // Stamps the cumulative budget telemetry onto whichever result wins
+  // the ladder. Zero when ungoverned — the fields (and trace counters)
+  // only exist for governed runs, keeping defaults byte-identical.
+  auto Finish = [&](AllocationResult R) {
+    if (Gov) {
+      R.BudgetCheckpoints = Token.checkpoints();
+      R.BudgetPeakBytes = Token.peakBytes();
+      RA_TRACE_COUNTER("budget.checkpoints", double(R.BudgetCheckpoints));
+      RA_TRACE_COUNTER("budget.peak_bytes", double(R.BudgetPeakBytes));
+    }
+    return R;
+  };
+
   if (C.FaultInject.NonConvergence) {
     Result.Success = false;
     Result.Outcome = AllocOutcome::Failed;
     Result.Diag = Status::error(StatusCode::NonConvergence,
                                 "fault injection: forced non-convergence");
   } else {
-    Result = backendFor(C.B).runPasses(F, C, G, Loops);
+    Result = backendFor(C.B).runPasses(F, C, G, Loops, Gov);
+  }
+
+  // Rung 1 of the budget ladder: graph coloring ran over its deadline
+  // or was refused its matrices — retry under linear scan, which
+  // allocates no triangular matrix and is the measured-cheaper engine,
+  // before surrendering registers entirely. The retry keeps the same
+  // token (memory charges carry over) with a fresh deadline window, and
+  // is audited unconditionally: degraded code must never be wrong code.
+  auto BudgetTripped = [](const Status &S) {
+    return S.code() == StatusCode::DeadlineExceeded ||
+           S.code() == StatusCode::MemoryBudgetExceeded;
+  };
+  if (!Result.Success && BudgetTripped(Result.Diag) &&
+      C.B == Backend::GraphColoring) {
+    RA_TRACE_COUNTER("budget.retry.linear_scan", 1);
+    Status Why = Result.Diag;
+    Token.rearm();
+    AllocatorConfig RetryC = C;
+    RetryC.B = Backend::LinearScan;
+    AllocationResult Retry =
+        backendFor(Backend::LinearScan).runPasses(F, RetryC, G, Loops, Gov);
+    if (Retry.Success) {
+      Status RetryAudit = auditAllocationStatus(F, Retry);
+      if (RetryAudit.ok()) {
+        Retry.Outcome = AllocOutcome::Degraded;
+        Retry.Diag = std::move(
+            Why.addContext("degraded to linear-scan retry for @" + F.name()));
+        return Finish(std::move(Retry));
+      }
+      Retry.Success = false;
+      Retry.Outcome = AllocOutcome::Failed;
+      Retry.Diag = std::move(RetryAudit);
+    }
+    Result = std::move(Retry); // fall through to spill-everything
   }
 
   if (Result.Success) {
     if (!C.Audit)
-      return Result;
+      return Finish(std::move(Result));
     Status AuditS = auditAllocationStatus(F, Result);
     if (AuditS.ok())
-      return Result;
+      return Finish(std::move(Result));
     Result.Success = false;
     Result.Outcome = AllocOutcome::Failed;
     Result.Diag = std::move(AuditS);
@@ -489,6 +611,8 @@ AllocationResult ra::allocateRegisters(Function &F,
   // live range and re-color. The fallback is always audited, whatever
   // C.Audit says: degraded code must never be wrong code.
   Status Why = Result.Diag;
+  if (Gov && BudgetTripped(Why))
+    RA_TRACE_COUNTER("budget.fallback.spill_everything", 1);
   AllocationResult Fallback = spillEverything(F, C, G, Loops);
   if (Fallback.Success) {
     Status FallbackAudit = auditAllocationStatus(F, Fallback);
@@ -503,7 +627,7 @@ AllocationResult ra::allocateRegisters(Function &F,
     Fallback.Diag =
         std::move(Why.addContext("degraded to spill-everything for @" +
                                  F.name()));
-    return Fallback;
+    return Finish(std::move(Fallback));
   }
 
   Result.Success = false;
@@ -511,5 +635,5 @@ AllocationResult ra::allocateRegisters(Function &F,
   Result.Diag = std::move(Fallback.Diag.addContext(
       "spill-everything fallback also failed for @" + F.name() +
       " (primary failure: " + Why.toString() + ")"));
-  return Result;
+  return Finish(std::move(Result));
 }

@@ -74,9 +74,19 @@ struct FaultInjectOptions {
   /// Throw std::runtime_error from allocateRegisters for functions with
   /// this exact name (exercises worker-exception propagation).
   std::string ThrowInFunction;
+  /// Sleep this many microseconds at the top of every backend pass —
+  /// deterministically trips a tiny deadline so every ladder rung is
+  /// provable without relying on machine speed.
+  unsigned SlowPhaseMicros = 0;
+  /// Pretend the interference-graph matrix estimate is ~1 GB larger
+  /// than it is, so a memory budget refuses the graph-coloring build
+  /// up front and the ladder retries under linear scan (which has no
+  /// triangular matrix and charges nothing extra).
+  bool GraphMemorySpike = false;
 
   bool any() const {
-    return Miscolor || NonConvergence || !ThrowInFunction.empty();
+    return Miscolor || NonConvergence || !ThrowInFunction.empty() ||
+           SlowPhaseMicros != 0 || GraphMemorySpike;
   }
 };
 
@@ -137,6 +147,25 @@ struct AllocatorConfig {
   /// Defaults to off unless the RA_AUDIT environment variable turns it
   /// on process-wide.
   bool Audit = auditEnabledByEnv();
+  /// Wall-clock allowance per function, in seconds (0 = unbounded, the
+  /// default). Exceeding it never fails an allocation: the graph-
+  /// coloring backend retries under linear scan, and any remaining
+  /// over-budget run falls to the audited spill-everything rung, so the
+  /// result is Degraded with a DeadlineExceeded status rather than
+  /// Failed. rac's --deadline-ms.
+  double DeadlineSeconds = 0;
+  /// Byte ceiling per function for governed allocations — today the
+  /// dominant O(N^2)-bit interference matrices, charged up front from
+  /// InterferenceGraph::estimateBytes so a would-be OOM is refused
+  /// before the matrix exists (0 = unbounded). Same ladder as the
+  /// deadline. rac's --mem-budget-mb.
+  uint64_t MemoryBudgetBytes = 0;
+
+  /// True when either resource limit is armed.
+  bool governed() const {
+    return DeadlineSeconds > 0 || MemoryBudgetBytes > 0;
+  }
+
   /// Fill AllocationResult::Metrics with a per-live-range feature/
   /// decision table (degree, area, cost/degree, loop depth, spill
   /// decision, color, coalesced-into). Off by default: collecting the
@@ -323,6 +352,11 @@ struct AllocationResult {
   /// range. Vregs not listed occupy ColorOf over their whole lifetime.
   std::vector<PieceAssignment> Pieces;
   MachineInfo Machine = MachineInfo::rtpc();
+  /// Resource-governance telemetry (zero when ungoverned): cooperative
+  /// checkpoints served and the high-water mark of governed bytes,
+  /// cumulative across every ladder rung this function ran.
+  uint64_t BudgetCheckpoints = 0;
+  uint64_t BudgetPeakBytes = 0;
 
   /// Physical register assigned to \p R (requires Success). For split
   /// vregs this is the first piece's register; slot-aware consumers

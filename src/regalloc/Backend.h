@@ -30,6 +30,7 @@
 
 namespace ra {
 
+class Budget;
 class CFG;
 class LoopInfo;
 
@@ -46,9 +47,16 @@ public:
   /// C.MaxPasses is exhausted. Must not audit and must not fall back:
   /// allocateRegisters layers the degradation ladder on top, so every
   /// backend fails (and degrades) through the same path.
+  ///
+  /// \p Gov is the function's resource-governance token, or null for
+  /// the ungoverned default. A governed backend polls it cooperatively
+  /// and, on a trip, returns a Failed result whose Diag carries the
+  /// budget status (DeadlineExceeded / MemoryBudgetExceeded) — the
+  /// ladder in allocateRegisters turns that into a cheaper retry or the
+  /// spill-everything rung, never a lost allocation.
   virtual AllocationResult runPasses(Function &F, const AllocatorConfig &C,
-                                     const CFG &G,
-                                     const LoopInfo &Loops) const = 0;
+                                     const CFG &G, const LoopInfo &Loops,
+                                     Budget *Gov = nullptr) const = 0;
 };
 
 /// The engine implementing \p B. Returned references are to immortal

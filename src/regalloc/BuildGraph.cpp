@@ -6,6 +6,7 @@
 
 #include "regalloc/BuildGraph.h"
 
+#include "support/Budget.h"
 #include "support/Trace.h"
 
 using namespace ra;
@@ -14,12 +15,15 @@ namespace {
 
 /// Walks every block backward from live-out, invoking
 /// \p AddInterference(Def, Live) for each def against each live range
-/// live just after it (excluding a Copy's source).
+/// live just after it (excluding a Copy's source). Polls \p Gov once
+/// per block and stops the walk when the budget trips.
 template <typename CallableT>
 void forEachInterference(const Function &F, const Liveness &LV,
-                         CallableT AddInterference) {
+                         CallableT AddInterference, Budget *Gov = nullptr) {
   BitVector LiveNow;
   for (const BasicBlock &B : F.blocks()) {
+    if (Gov && !Gov->checkpoint())
+      return;
     LiveNow = LV.liveOut(B.Id);
     for (auto It = B.Insts.rbegin(), E = B.Insts.rend(); It != E; ++It) {
       const Instruction &I = *It;
@@ -41,7 +45,8 @@ void forEachInterference(const Function &F, const Liveness &LV,
 } // namespace
 
 std::array<ClassGraph, NumRegClasses>
-ra::buildInterferenceGraphs(const Function &F, const Liveness &LV) {
+ra::buildInterferenceGraphs(const Function &F, const Liveness &LV,
+                            Budget *Gov) {
   RA_TRACE_SPAN("BuildGraph", "regalloc");
   std::array<ClassGraph, NumRegClasses> Out;
 
@@ -67,12 +72,15 @@ ra::buildInterferenceGraphs(const Function &F, const Liveness &LV) {
     }
   }
 
-  forEachInterference(F, LV, [&](VRegId D, VRegId L) {
-    if (F.regClass(D) != F.regClass(L))
-      return; // disjoint files never compete for a register
-    ClassGraph &CG = Out[static_cast<unsigned>(F.regClass(D))];
-    CG.Graph.addEdge(CG.VRegToNode[D], CG.VRegToNode[L]);
-  });
+  forEachInterference(
+      F, LV,
+      [&](VRegId D, VRegId L) {
+        if (F.regClass(D) != F.regClass(L))
+          return; // disjoint files never compete for a register
+        ClassGraph &CG = Out[static_cast<unsigned>(F.regClass(D))];
+        CG.Graph.addEdge(CG.VRegToNode[D], CG.VRegToNode[L]);
+      },
+      Gov);
   // Pack adjacency into CSR here, once, so the graphs are ready to be
   // colored concurrently (the lazy build in neighbors() must not race).
   for (ClassGraph &CG : Out)

@@ -26,6 +26,8 @@
 
 namespace ra {
 
+class Budget;
+
 /// The interference graph of one register class plus the node<->vreg
 /// correspondence.
 struct ClassGraph {
@@ -37,8 +39,14 @@ struct ClassGraph {
 
 /// Builds per-class interference graphs for \p F. Spill costs on the
 /// nodes are left zero; callers fill them via \c setNodeCosts.
+///
+/// \p Gov, when non-null, is polled once per block during the
+/// interference walk; a tripped budget stops the build early (the
+/// graphs are then partial — callers must check the token and discard
+/// them before coloring).
 std::array<ClassGraph, NumRegClasses>
-buildInterferenceGraphs(const Function &F, const Liveness &LV);
+buildInterferenceGraphs(const Function &F, const Liveness &LV,
+                        Budget *Gov = nullptr);
 
 /// Copies \p Costs (per vreg) onto the graph nodes and marks spill
 /// temporaries NoSpill.

@@ -8,6 +8,7 @@
 
 #include "analysis/Liveness.h"
 #include "regalloc/BuildGraph.h"
+#include "support/Budget.h"
 #include "support/Trace.h"
 #include "support/UnionFind.h"
 
@@ -110,10 +111,13 @@ unsigned ra::coalesceOnePass(Function &F, const CFG &G,
 
 CoalesceStats ra::coalesceAll(Function &F, const CFG &G,
                               CoalescePolicy Policy,
-                              const std::optional<MachineInfo> &Machine) {
+                              const std::optional<MachineInfo> &Machine,
+                              Budget *Gov) {
   RA_TRACE_SPAN("Coalesce", "regalloc");
   CoalesceStats Stats;
   while (true) {
+    if (Gov && !Gov->checkpoint())
+      break; // over budget: stop merging; the IR is valid as-is
     unsigned Merged =
         coalesceOnePass(F, G, Policy, Machine, &Stats.Merges);
     ++Stats.Rounds;

@@ -23,6 +23,8 @@
 
 namespace ra {
 
+class Budget;
+
 /// How eagerly copies are merged.
 enum class CoalescePolicy : uint8_t {
   /// Chaitin's rule: merge every non-interfering copy. Can create
@@ -61,10 +63,14 @@ unsigned coalesceOnePass(Function &F, const CFG &G,
                          const std::optional<MachineInfo> &Machine = {},
                          std::vector<CoalescedCopy> *Merges = nullptr);
 
-/// Repeats \c coalesceOnePass until no copy can be merged.
+/// Repeats \c coalesceOnePass until no copy can be merged. \p Gov, when
+/// non-null, is polled once per round; a tripped budget stops early —
+/// safe at any round boundary, since coalescing is an optimization and
+/// the IR is valid between rounds.
 CoalesceStats coalesceAll(Function &F, const CFG &G,
                           CoalescePolicy Policy = CoalescePolicy::Aggressive,
-                          const std::optional<MachineInfo> &Machine = {});
+                          const std::optional<MachineInfo> &Machine = {},
+                          Budget *Gov = nullptr);
 
 } // namespace ra
 

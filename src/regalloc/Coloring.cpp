@@ -9,6 +9,7 @@
 #include "regalloc/DegreeBuckets.h"
 #include "regalloc/ParallelSelect.h"
 #include "regalloc/SpillHeap.h"
+#include "support/Budget.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
@@ -87,9 +88,12 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
   std::vector<bool> MarkedSpilled(N, false); // Chaitin only
   SpillCandidateHeap SpillHeap; // built on the first stuck step
 
+  Budget *Gov = SO.Governor;
   uint32_t Hint = 0;
   bool InStuckRegion = false;
   while (Buckets.numLive() != 0) {
+    if (Gov && !Gov->checkpoint())
+      break; // over budget: abandon simplify, skip select entirely
     uint32_t D = Buckets.lowestNonEmpty(Hint);
     assert(D != DegreeBuckets::None && "live nodes but empty buckets");
 
@@ -141,9 +145,16 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
   //===------------------------------------------------------------===//
   RA_TRACE_SPAN_NAMED(SelectSpan, "Select", "regalloc");
   SelectTimer.start();
+  // A budget trip leaves the removal stack partial; select over it
+  // would miscount spills (and trip the Chaitin colorability assert),
+  // so the phase is skipped outright — the governed caller discards
+  // the result anyway.
+  const bool Tripped = Gov && Gov->exhausted();
   const bool UseParallel =
       SO.Parallel && R.RemovalOrder.size() >= SO.MinNodes;
-  if (UseParallel) {
+  if (Tripped) {
+    // nothing: R stays partial
+  } else if (UseParallel) {
     // Speculate-and-repair engine (ParallelSelect.cpp): converges to the
     // same coloring the sequential loop below computes, at any thread
     // count. The spill list, cost sum, and counters are then derived in
@@ -153,6 +164,15 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
                                       R.RemovalOrder.rend());
     runParallelSelect(G, K, SelectOrder, SO, R.ColorOf, R.SelectRounds);
     R.ParallelSelect = true;
+    if (Gov && Gov->exhausted()) {
+      // Repair was abandoned mid-round; the color array is partial and
+      // the spill derivation below would misread it.
+      SelectTimer.stop();
+      SelectSpan.close();
+      R.SimplifySeconds = SimplifyTimer.seconds();
+      R.SelectSeconds = SelectTimer.seconds();
+      return R;
+    }
     for (uint32_t Node : SelectOrder) {
       int32_t Color = R.ColorOf[Node];
       if (Color < 0) {
@@ -171,6 +191,8 @@ ColoringResult ra::colorGraph(const InterferenceGraph &G, unsigned K,
     std::vector<bool> Inserted(N, false);
     for (auto It = R.RemovalOrder.rbegin(), E = R.RemovalOrder.rend();
          It != E; ++It) {
+      if (Gov && !Gov->checkpoint())
+        break; // partial coloring; governed caller discards it
       uint32_t Node = *It;
       std::fill(Used.begin(), Used.end(), false);
       for (uint32_t M : G.neighbors(Node))

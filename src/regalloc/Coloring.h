@@ -37,6 +37,8 @@
 
 namespace ra {
 
+class Budget;
+
 /// Which simplify/select policy to run.
 enum class Heuristic : uint8_t { Chaitin, Briggs, MatulaBeck };
 
@@ -73,6 +75,13 @@ struct SelectOptions {
   /// one contiguous chunk per thread; tests set small sizes to force
   /// many cross-chunk boundaries (and thus conflicts) on small graphs.
   unsigned ChunkSize = 0;
+
+  /// Resource-governance token (support/Budget.h), or null for the
+  /// ungoverned default. Simplify polls it per node removal, sequential
+  /// select per node, and the parallel engine per repair round; a trip
+  /// abandons the phase mid-flight, leaving the ColoringResult partial —
+  /// callers that govern must check the token before trusting a result.
+  Budget *Governor = nullptr;
 };
 
 /// What one speculate/detect/repair round of the parallel Select did.

@@ -115,6 +115,19 @@ public:
   /// Effectively-infinite spill cost for must-keep nodes.
   static constexpr double InfiniteCost = std::numeric_limits<double>::max();
 
+  /// Estimate of the bytes \c reset(NumNodes) commits up front: the
+  /// triangular bit matrix (the dominant term — O(N^2) bits, ~156 MB at
+  /// 50k nodes) plus per-node metadata. The CSR edge arrays are
+  /// excluded: their size is the edge count, unknown before the build
+  /// walks liveness. Resource governance charges this estimate *before*
+  /// constructing the graph, so a would-be OOM is refused into the
+  /// degradation ladder instead of attempted.
+  static uint64_t estimateBytes(uint64_t NumNodes) {
+    uint64_t MatrixBytes =
+        NumNodes < 2 ? 0 : (NumNodes * (NumNodes - 1) / 2 + 7) / 8;
+    return MatrixBytes + NumNodes * (sizeof(IGNode) + 3 * sizeof(uint32_t));
+  }
+
 private:
   void buildCSR() const {
     unsigned N = Nodes.size();

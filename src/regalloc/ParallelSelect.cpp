@@ -6,6 +6,7 @@
 
 #include "regalloc/ParallelSelect.h"
 
+#include "support/Budget.h"
 #include "support/ParallelFor.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -213,6 +214,8 @@ void ra::runParallelSelect(const InterferenceGraph &G, unsigned K,
   // exactly.
   //===------------------------------------------------------------===//
   while (!Conflicts.empty()) {
+    if (SO.Governor && !SO.Governor->checkpoint())
+      break; // over budget mid-repair: colors stay partial, caller discards
     if (Rounds.size() > SO.MaxRounds) {
       Timer SweepTimer;
       SweepTimer.start();
@@ -282,9 +285,11 @@ void ra::runParallelSelect(const InterferenceGraph &G, unsigned K,
 
 #ifndef NDEBUG
   // The fixpoint property IS the byte-identity guarantee; re-assert it
-  // from scratch in debug builds.
-  assert(findSelectConflicts(G, K, SelectOrder, ColorOf).empty() &&
-         "parallel select did not reach the sequential fixpoint");
+  // from scratch in debug builds. A budget trip legitimately abandons
+  // the fixpoint — the partial coloring is discarded by the caller.
+  assert((SO.Governor && SO.Governor->exhausted()) ||
+         (findSelectConflicts(G, K, SelectOrder, ColorOf).empty() &&
+          "parallel select did not reach the sequential fixpoint"));
 #endif
 
   if (trace::enabled()) {

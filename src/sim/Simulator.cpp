@@ -49,23 +49,23 @@ const std::vector<double> &MemoryImage::floatArray(uint32_t Id) const {
 }
 
 ExecutionResult Simulator::runVirtual(const Function &F, MemoryImage &Mem,
-                                      uint64_t MaxInstructions) const {
-  return run(F, Mem, nullptr, MaxInstructions);
+                                      const SimOptions &SO) const {
+  return run(F, Mem, nullptr, SO);
 }
 
 ExecutionResult Simulator::runAllocated(const Function &F,
                                         const AllocationResult &A,
                                         MemoryImage &Mem,
-                                        uint64_t MaxInstructions) const {
+                                        const SimOptions &SO) const {
   assert(A.Success && "cannot execute a failed allocation");
   assert(A.ColorOf.size() == F.numVRegs() &&
          "allocation does not match this function");
-  return run(F, Mem, &A, MaxInstructions);
+  return run(F, Mem, &A, SO);
 }
 
 ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
                                const AllocationResult *A,
-                               uint64_t MaxInstructions) const {
+                               const SimOptions &SO) const {
   ExecutionResult R;
 
   // Register files. Virtual mode sizes them by the vreg count; allocated
@@ -181,16 +181,21 @@ ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
     return FltRegs[Loc(O.Reg)];
   };
 
-  auto Trap = [&R](const std::string &Msg) {
+  // Traps carry both the human-readable Error and a structured Diag so
+  // harnesses can dispatch on the failure class without string matching.
+  auto Trap = [&R](StatusCode C, const std::string &Msg) {
     R.Ok = false;
     R.Error = Msg;
+    R.Diag = Status::error(C, Msg);
   };
 
   uint32_t Block = F.entry();
   size_t Idx = 0;
   while (true) {
-    if (R.Instructions >= MaxInstructions) {
-      Trap("instruction budget exhausted (possible infinite loop)");
+    if (R.Instructions >= SO.MaxInstructions) {
+      Trap(StatusCode::DeadlineExceeded,
+           "instruction budget of " + std::to_string(SO.MaxInstructions) +
+               " exhausted (possible infinite loop)");
       return R;
     }
     assert(Idx < F.block(Block).Insts.size() && "fell off a block");
@@ -226,7 +231,7 @@ ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
     case Opcode::Div: {
       int64_t D = IReg(I.Ops[2]);
       if (D == 0) {
-        Trap("integer division by zero");
+        Trap(StatusCode::InvalidInput, "integer division by zero");
         return R;
       }
       IReg(I.Ops[0]) = IReg(I.Ops[1]) / D;
@@ -235,7 +240,7 @@ ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
     case Opcode::Rem: {
       int64_t D = IReg(I.Ops[2]);
       if (D == 0) {
-        Trap("integer remainder by zero");
+        Trap(StatusCode::InvalidInput, "integer remainder by zero");
         return R;
       }
       IReg(I.Ops[0]) = IReg(I.Ops[1]) % D;
@@ -268,7 +273,7 @@ ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
     case Opcode::FSqrt: {
       double V = FReg(I.Ops[1]);
       if (V < 0) {
-        Trap("square root of a negative value");
+        Trap(StatusCode::InvalidInput, "square root of a negative value");
         return R;
       }
       FReg(I.Ops[0]) = std::sqrt(V);
@@ -285,7 +290,8 @@ ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
       uint32_t Arr = I.Ops[1].Array;
       int64_t Index = IReg(I.Ops[2]);
       if (Index < 0 || uint64_t(Index) >= M.array(Arr).Size) {
-        Trap("load index out of bounds in @" + M.array(Arr).Name);
+        Trap(StatusCode::InvalidInput,
+             "load index out of bounds in @" + M.array(Arr).Name);
         return R;
       }
       if (I.Op == Opcode::Load)
@@ -299,7 +305,8 @@ ExecutionResult Simulator::run(const Function &F, MemoryImage &Mem,
       uint32_t Arr = I.Ops[1].Array;
       int64_t Index = IReg(I.Ops[2]);
       if (Index < 0 || uint64_t(Index) >= M.array(Arr).Size) {
-        Trap("store index out of bounds in @" + M.array(Arr).Name);
+        Trap(StatusCode::InvalidInput,
+             "store index out of bounds in @" + M.array(Arr).Name);
         return R;
       }
       if (I.Op == Opcode::Store)

@@ -83,10 +83,25 @@ private:
   std::vector<std::vector<double>> FloatData;
 };
 
+/// Execution limits for one simulated run.
+struct SimOptions {
+  /// Instruction ceiling before the run traps (the hedge against
+  /// allocation bugs that manifest as infinite loops). Exhausting it
+  /// produces a structured DeadlineExceeded diagnostic in
+  /// ExecutionResult::Diag, so harnesses (ralfuzz --max-instructions)
+  /// can tell a hang apart from a wrong-answer trap and shrink hang
+  /// reproducers like any other failure.
+  uint64_t MaxInstructions = 1ull << 32;
+};
+
 /// Outcome of one simulated run.
 struct ExecutionResult {
   bool Ok = false;
   std::string Error;             ///< Trap reason when !Ok.
+  /// Structured twin of Error: InvalidInput for genuine program traps
+  /// (division by zero, out-of-bounds access, ...), DeadlineExceeded
+  /// when SimOptions::MaxInstructions ran out. Ok status on success.
+  Status Diag;
   uint64_t Cycles = 0;           ///< Total cost-model cycles.
   uint64_t Instructions = 0;     ///< Instructions executed.
   uint64_t SpillCycles = 0;      ///< Cycles spent in spill.ld/spill.st.
@@ -111,18 +126,17 @@ public:
 
   /// Runs \p F over virtual registers.
   ExecutionResult runVirtual(const Function &F, MemoryImage &Mem,
-                             uint64_t MaxInstructions = 1ull << 32) const;
+                             const SimOptions &SO = {}) const;
 
   /// Runs \p F with registers mapped through \p A onto physical files.
   /// \p A must come from allocating exactly this (rewritten) function.
   ExecutionResult runAllocated(const Function &F, const AllocationResult &A,
                                MemoryImage &Mem,
-                               uint64_t MaxInstructions = 1ull << 32) const;
+                               const SimOptions &SO = {}) const;
 
 private:
   ExecutionResult run(const Function &F, MemoryImage &Mem,
-                      const AllocationResult *A,
-                      uint64_t MaxInstructions) const;
+                      const AllocationResult *A, const SimOptions &SO) const;
 
   const Module &M;
   CostModel CM;

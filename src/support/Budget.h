@@ -1,0 +1,211 @@
+//===- support/Budget.h - Cooperative deadline + memory budget -*- C++ -*-===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative resource-governance token: a monotonic-clock deadline
+/// plus an atomic byte-accounting counter with a high-water mark.
+///
+/// The allocation pipeline never kills threads or unwinds mid-phase.
+/// Instead, every long-running loop polls `checkpoint()` — an amortized
+/// check that touches the clock only every 64th call — and backs out at
+/// the next IR-safe boundary when the token has tripped. Memory is
+/// governed up front: a phase *estimates* its dominant allocation (the
+/// triangular bit matrix) and asks `tryCharge()` before allocating, so
+/// a would-be OOM is refused into the degradation ladder before any
+/// bytes are committed.
+///
+/// Tripping is *latched*: once either resource is exhausted the token
+/// stays exhausted (every subsequent checkpoint answers instantly)
+/// until `rearm()` opens a fresh window for the next ladder rung.
+/// Cumulative telemetry — checkpoints served, peak bytes — survives a
+/// rearm so the final AllocationResult can report totals.
+///
+/// A default-constructed Budget is *ungoverned*: no deadline, no byte
+/// limit, checkpoints never trip. Pipeline code takes `Budget *` and
+/// treats nullptr as ungoverned too, which keeps the default
+/// (governance off) a single pointer test away from byte-identical
+/// behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RA_SUPPORT_BUDGET_H
+#define RA_SUPPORT_BUDGET_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ra {
+
+class Budget {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Ungoverned: no limits, `checkpoint()` never trips.
+  Budget() = default;
+
+  /// Arms the token. Zero disables the corresponding limit.
+  ///
+  /// \p DeadlineSeconds wall-clock allowance from *now* (monotonic).
+  /// \p MemoryBytes ceiling for concurrently-charged bytes.
+  void arm(double DeadlineSeconds, uint64_t MemoryBytes) {
+    DeadlineLimit = DeadlineSeconds;
+    ByteLimit = MemoryBytes;
+    Start = Clock::now();
+    Exhausted.store(nullptr, std::memory_order_relaxed);
+  }
+
+  /// Opens a fresh deadline window from *now* and clears the exhausted
+  /// latch — the ladder calls this before retrying a function on a
+  /// cheaper rung. Byte accounting (current charge, peak, checkpoint
+  /// totals) carries over: the retry still answers for memory already
+  /// held, and telemetry stays cumulative.
+  void rearm() {
+    Start = Clock::now();
+    Exhausted.store(nullptr, std::memory_order_relaxed);
+  }
+
+  /// True when either limit is armed. Ungoverned tokens skip straight
+  /// through every check.
+  bool governed() const { return DeadlineLimit > 0 || ByteLimit > 0; }
+
+  /// The cooperative poll. Counts every call; reads the clock only on
+  /// every 64th (amortizing the syscall), except that a latched trip
+  /// answers immediately. Returns true while within budget.
+  bool checkpoint() {
+    uint64_t N = Checkpoints.fetch_add(1, std::memory_order_relaxed);
+    if (Exhausted.load(std::memory_order_relaxed))
+      return false;
+    if (DeadlineLimit <= 0)
+      return true;
+    if ((N & ClockMask) != 0)
+      return true;
+    return checkDeadlineNow();
+  }
+
+  /// Forced deadline check — phase boundaries call this so a trip is
+  /// noticed even when the amortized counter hasn't wrapped. Returns
+  /// true when the token has tripped (either resource).
+  bool expired() {
+    Checkpoints.fetch_add(1, std::memory_order_relaxed);
+    if (Exhausted.load(std::memory_order_relaxed))
+      return true;
+    if (DeadlineLimit <= 0)
+      return false;
+    return !checkDeadlineNow();
+  }
+
+  /// True when a limit has already been latched (no clock read).
+  bool exhausted() const {
+    return Exhausted.load(std::memory_order_relaxed) != nullptr;
+  }
+
+  /// Attempts to account \p Bytes against the byte limit. On success
+  /// the charge is held until `release()`; the high-water mark tracks
+  /// the maximum concurrent charge. A refusal charges nothing and
+  /// latches the token as memory-exhausted (recording the refused
+  /// request so the diagnostic can name it). Ungoverned tokens always
+  /// grant and still track the peak for telemetry.
+  bool tryCharge(uint64_t Bytes) {
+    uint64_t Now = Current.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    if (ByteLimit > 0 && Now > ByteLimit) {
+      Current.fetch_sub(Bytes, std::memory_order_relaxed);
+      RefusedBytes.store(Bytes, std::memory_order_relaxed);
+      Exhausted.store(MemoryExhaustedTag, std::memory_order_relaxed);
+      return false;
+    }
+    uint64_t Peak = PeakBytes.load(std::memory_order_relaxed);
+    while (Now > Peak &&
+           !PeakBytes.compare_exchange_weak(Peak, Now,
+                                            std::memory_order_relaxed))
+      ;
+    return true;
+  }
+
+  /// Returns \p Bytes previously granted by `tryCharge()`.
+  void release(uint64_t Bytes) {
+    Current.fetch_sub(Bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t checkpoints() const {
+    return Checkpoints.load(std::memory_order_relaxed);
+  }
+  uint64_t peakBytes() const {
+    return PeakBytes.load(std::memory_order_relaxed);
+  }
+  uint64_t currentBytes() const {
+    return Current.load(std::memory_order_relaxed);
+  }
+  double deadlineSeconds() const { return DeadlineLimit; }
+  uint64_t byteLimit() const { return ByteLimit; }
+
+  /// Renders the latched trip as a Status naming the exhausted resource
+  /// and both limit and actual, e.g.
+  ///   deadline-exceeded: deadline of 0.005s exceeded after 0.007s
+  ///   memory-budget-exceeded: memory budget of 1048576 bytes refused a
+  ///   2097152-byte charge (1000000 bytes held)
+  /// Returns Ok when nothing has tripped.
+  Status status() const;
+
+private:
+  /// Clock reads happen on every (N & ClockMask)==0 checkpoint.
+  static constexpr uint64_t ClockMask = 63;
+
+  /// Latch tags — distinguish which resource tripped without another
+  /// field. Any non-null value means exhausted.
+  static const char *const DeadlineExhaustedTag;
+  static const char *const MemoryExhaustedTag;
+
+  bool checkDeadlineNow() {
+    double Elapsed =
+        std::chrono::duration<double>(Clock::now() - Start).count();
+    if (Elapsed <= DeadlineLimit)
+      return true;
+    TrippedAfter.store(Elapsed, std::memory_order_relaxed);
+    Exhausted.store(DeadlineExhaustedTag, std::memory_order_relaxed);
+    return false;
+  }
+
+  double DeadlineLimit = 0;  ///< Seconds; 0 = no deadline.
+  uint64_t ByteLimit = 0;    ///< Bytes; 0 = no memory limit.
+  Clock::time_point Start{}; ///< Window start (arm/rearm time).
+
+  std::atomic<const char *> Exhausted{nullptr};
+  std::atomic<uint64_t> Checkpoints{0};
+  std::atomic<uint64_t> Current{0};
+  std::atomic<uint64_t> PeakBytes{0};
+  std::atomic<uint64_t> RefusedBytes{0};
+  std::atomic<double> TrippedAfter{0};
+};
+
+/// RAII charge against a Budget: charges on construction (when granted)
+/// and releases on destruction. `granted()` is true when the charge was
+/// accepted — or when there was no governor at all.
+class ScopedCharge {
+public:
+  ScopedCharge(Budget *B, uint64_t Bytes)
+      : Governor(B), Bytes(Bytes),
+        Granted(!B || B->tryCharge(Bytes)) {}
+  ~ScopedCharge() {
+    if (Governor && Granted)
+      Governor->release(Bytes);
+  }
+  ScopedCharge(const ScopedCharge &) = delete;
+  ScopedCharge &operator=(const ScopedCharge &) = delete;
+
+  bool granted() const { return Granted; }
+
+private:
+  Budget *Governor;
+  uint64_t Bytes;
+  bool Granted;
+};
+
+} // namespace ra
+
+#endif // RA_SUPPORT_BUDGET_H

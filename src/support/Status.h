@@ -33,6 +33,8 @@ enum class StatusCode : uint8_t {
   AuditFailure,   ///< The post-allocation audit found a broken invariant.
   WorkerError,    ///< A pool worker threw while allocating a function.
   IoError,        ///< File could not be read or written.
+  DeadlineExceeded,     ///< A Budget deadline expired mid-allocation.
+  MemoryBudgetExceeded, ///< A Budget byte charge was refused.
 };
 
 /// Printable name of a status code ("audit-failure", ...).
@@ -46,6 +48,8 @@ inline const char *statusCodeName(StatusCode C) {
   case StatusCode::AuditFailure:   return "audit-failure";
   case StatusCode::WorkerError:    return "worker-error";
   case StatusCode::IoError:        return "io-error";
+  case StatusCode::DeadlineExceeded:     return "deadline-exceeded";
+  case StatusCode::MemoryBudgetExceeded: return "memory-budget-exceeded";
   }
   return "unknown";
 }

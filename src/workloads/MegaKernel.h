@@ -37,6 +37,7 @@
 
 #include "ir/Module.h"
 #include "regalloc/BuildGraph.h"
+#include "support/Status.h"
 
 #include <functional>
 #include <string>
@@ -48,6 +49,11 @@ namespace ra {
 struct MegaKernel {
   std::string Name; ///< "mega.ramp.10k" — unique within the family.
   std::string Kind; ///< "ramp", "wide", "random".
+  /// Approximate live ranges the kernel produces — the N that sizes the
+  /// O(N^2)-bit triangular interference matrix. Capacity guards
+  /// (checkMegaKernelCapacity) use it to refuse a kernel *before*
+  /// building anything.
+  uint64_t ApproxRanges = 0;
   /// Builds the kernel (arrays + one function) into a fresh module.
   std::function<Function &(Module &)> Build;
 };
@@ -60,6 +66,15 @@ const std::vector<MegaKernel> &megaKernelFamily();
 /// Fast variants of the same three shapes (a few thousand ranges) for
 /// unit/determinism tests that run in milliseconds.
 const std::vector<MegaKernel> &megaKernelTestFamily();
+
+/// Explicit capacity guard: Ok when \p MK's triangular interference
+/// matrix (estimated from ApproxRanges) fits \p MemoryBudgetBytes, or a
+/// MemoryBudgetExceeded error naming the kernel, the estimate, and the
+/// budget — with the remedy (raise the budget or drop the kernel) in
+/// the message — instead of silently attempting the allocation.
+/// \p MemoryBudgetBytes == 0 means unbounded (always Ok).
+Status checkMegaKernelCapacity(const MegaKernel &MK,
+                               uint64_t MemoryBudgetBytes);
 
 /// Straight-line register-pressure ramp: ~\p Ranges float live ranges
 /// in one block, each live for ~\p Width defs (degree ~2*Width).

@@ -370,4 +370,51 @@ TEST(AllocateModuleTest, WorkerExceptionFailsOnlyThatFunction) {
   }
 }
 
+TEST(AllocateModuleTest, WorkerExceptionDoesNotPoisonSiblingBudgets) {
+  // The hardest combination: pool workers, in-graph parallel Select,
+  // per-function budgets, and one function that throws mid-allocation.
+  // The thrown function must come back Failed/WorkerError; every
+  // sibling must still produce a usable (Converged or Degraded)
+  // allocation with its *own* budget telemetry — a worker's death must
+  // not leak pool threads or latch a sibling's budget token. Running
+  // the whole thing twice in one process proves the pool survives.
+  for (int Round = 0; Round < 2; ++Round) {
+    Module M;
+    buildWorkloadModule(M, 7000);
+    ASSERT_GE(M.numFunctions(), 3u);
+    const std::string Victim = M.function(2).name();
+
+    AllocatorConfig C;
+    C.Jobs = 4;
+    C.ParallelGraph = true;
+    C.ParallelGraphJobs = 3;
+    C.ParallelGraphMinNodes = 0;
+    C.DeadlineSeconds = 30;                 // generous: must not trip
+    C.MemoryBudgetBytes = 1ull << 30;
+    C.FaultInject.ThrowInFunction = Victim;
+    ModuleAllocationResult R = allocateModule(M, C);
+    ASSERT_EQ(R.Functions.size(), M.numFunctions());
+
+    for (unsigned I = 0; I < M.numFunctions(); ++I) {
+      const AllocationResult &A = R.Functions[I];
+      if (M.function(I).name() == Victim) {
+        EXPECT_FALSE(A.Success) << "round " << Round;
+        EXPECT_EQ(A.Outcome, AllocOutcome::Failed);
+        EXPECT_EQ(A.Diag.code(), StatusCode::WorkerError);
+      } else {
+        EXPECT_TRUE(A.Success)
+            << "round " << Round << " @" << M.function(I).name() << ": "
+            << A.Diag.toString();
+        EXPECT_EQ(A.Outcome, AllocOutcome::Converged)
+            << "round " << Round << " @" << M.function(I).name()
+            << ": a sibling's budget latched: " << A.Diag.toString();
+        // Each sibling carries its own token's telemetry: the
+        // governed pipeline polled it at least once.
+        EXPECT_GT(A.BudgetCheckpoints, 0u)
+            << "round " << Round << " @" << M.function(I).name();
+      }
+    }
+  }
+}
+
 } // namespace

@@ -105,9 +105,11 @@ TEST(SimulatorTest, TrapsOnInstructionBudget) {
   T.B.jmp(Loop); // infinite
   Simulator Sim(T.M);
   MemoryImage Mem(T.M);
-  ExecutionResult R = Sim.runVirtual(*T.F, Mem, /*MaxInstructions=*/1000);
+  ExecutionResult R =
+      Sim.runVirtual(*T.F, Mem, SimOptions{.MaxInstructions = 1000});
   EXPECT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("budget"), std::string::npos);
+  EXPECT_EQ(R.Diag.code(), StatusCode::DeadlineExceeded);
   EXPECT_EQ(R.Instructions, 1000u);
 }
 

@@ -29,6 +29,14 @@
 //   --split / --no-split interval splitting in the linear-scan backend
 //                        (default on; --no-split restores whole-lifetime
 //                        spilling — the regression oracle)
+//   --deadline-ms N      per-function wall-clock budget; over-budget
+//                        functions degrade down the ladder (linear-scan
+//                        retry, then audited spill-everything) instead
+//                        of failing (0 = unbounded, the default)
+//   --mem-budget-mb N    per-function interference-matrix memory budget;
+//                        a would-be over-budget graph is refused before
+//                        allocation and the function degrades (0 =
+//                        unbounded, the default)
 //   --audit / --no-audit run the post-allocation audit (default on)
 //   --print              print the allocated function(s)
 //   --run                execute each function on zero-filled memory
@@ -56,6 +64,7 @@
 #include "support/Trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -73,6 +82,7 @@ void usage(const char *Prog) {
       "       [--int K] [--flt K] [--jobs N] [--no-opt] [--remat]\n"
       "       [--parallel-graph[=N]] [--parallel-graph-min N]\n"
       "       [--split] [--no-split]\n"
+      "       [--deadline-ms N] [--mem-budget-mb N]\n"
       "       [--audit] [--no-audit] [--print] [--run] [--quiet]\n"
       "       [--bench-json FILE] [--trace FILE] [--metrics FILE]\n"
       "\n"
@@ -97,6 +107,8 @@ struct Options {
   unsigned ParallelGraphMinNodes = 2048; ///< --parallel-graph-min
   bool Optimize = true, Remat = false, Audit = true, Split = true;
   bool Print = false, Run = false, Quiet = false;
+  double DeadlineMs = 0;       ///< --deadline-ms (0 = unbounded)
+  uint64_t MemBudgetMb = 0;    ///< --mem-budget-mb (0 = unbounded)
   std::string TracePath;   ///< --trace: Chrome trace JSON output.
   std::string MetricsPath; ///< --metrics: per-range CSV output.
 };
@@ -146,6 +158,8 @@ Status processFile(const std::string &Path, const Options &Opt,
   C.ParallelGraphJobs = Opt.ParallelGraphJobs;
   C.ParallelGraphMinNodes = Opt.ParallelGraphMinNodes;
   C.Audit = Opt.Audit;
+  C.DeadlineSeconds = Opt.DeadlineMs / 1e3;
+  C.MemoryBudgetBytes = Opt.MemBudgetMb << 20;
   C.CollectMetrics = !Opt.MetricsPath.empty();
   ModuleAllocationResult MA = allocateModule(M, C);
 
@@ -270,6 +284,10 @@ int main(int Argc, char **Argv) {
       Opt.ParallelGraphJobs = unsigned(std::atoi(Arg.c_str() + 17));
     } else if (Arg == "--parallel-graph-min" && I + 1 < Argc) {
       Opt.ParallelGraphMinNodes = unsigned(std::atoi(Argv[++I]));
+    } else if (Arg == "--deadline-ms" && I + 1 < Argc) {
+      Opt.DeadlineMs = std::atof(Argv[++I]);
+    } else if (Arg == "--mem-budget-mb" && I + 1 < Argc) {
+      Opt.MemBudgetMb = uint64_t(std::atoll(Argv[++I]));
     } else if (Arg == "--no-opt") {
       Opt.Optimize = false;
     } else if (Arg == "--remat") {

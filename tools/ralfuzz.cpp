@@ -27,7 +27,8 @@
 // config in header comments) is dumped, and the tool exits 1.
 //
 //   ralfuzz [--seeds N] [--start S] [--allocators A,B,...]
-//           [--audit|--no-audit] [--fault-inject] [--out FILE]
+//           [--audit|--no-audit] [--fault-inject] [--chaos]
+//           [--seed-timeout-ms N] [--max-instructions N] [--out FILE]
 //           [--emit-corpus DIR] [--quiet]
 //
 //   --seeds N       number of seeds to run (default 1000)
@@ -41,6 +42,19 @@
 //   --no-audit      rely on this tool's external checks only
 //   --fault-inject  deliberately miscolor / fail convergence and demand
 //                   a Degraded-but-still-correct fallback allocation
+//   --chaos         draw a per-seed resource-chaos plan (tiny deadlines,
+//                   tiny memory budgets, injected phase stalls, graph
+//                   memory spikes) and demand Converged-or-Degraded —
+//                   never Failed — with every Degraded result naming the
+//                   exhausted resource and still passing every oracle
+//   --seed-timeout-ms N  wall-clock watchdog per seed: a seed that does
+//                   not finish in N ms is reported and skipped (the
+//                   stuck run is abandoned detached) instead of hanging
+//                   the whole campaign (0 = off, the default)
+//   --max-instructions N  simulator instruction ceiling per run; an
+//                   exhausted ceiling is reported as a structured
+//                   deadline-exceeded trap, distinguishing an allocator-
+//                   induced infinite loop from a wrong-answer trap
 //   --out FILE      reproducer path (default ralfuzz-repro.ral)
 //   --emit-corpus DIR  instead of fuzzing, write one reproducer-format
 //                   .ral per seed into DIR (seeds the checked-in
@@ -58,11 +72,15 @@
 #include "support/Rng.h"
 #include "workloads/RandomProgram.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace ra;
@@ -119,6 +137,40 @@ struct CapturedRun {
   ExecutionResult R;
 };
 
+/// Per-seed resource-chaos plan: budgets and injected stalls drawn from
+/// a stream independent of the program shape, so --chaos replays the
+/// exact same corpus as a plain run, just under randomized governance.
+struct ChaosPlan {
+  double DeadlineSeconds = 0;    ///< 0, 1ms, 5ms, or 20ms
+  uint64_t MemoryBudgetBytes = 0; ///< 0, 256 KB, 1 MB, or 16 MB
+  unsigned SlowPhaseMicros = 0;  ///< injected stall per pass top
+  bool GraphMemorySpike = false; ///< +1 GB on the graph estimate
+};
+
+ChaosPlan deriveChaos(uint64_t Seed) {
+  ChaosPlan P;
+  Rng R(Seed * 0xD1B54A32D192ED03ull + 0x5851F42D4C957F2Dull);
+  static const double Deadlines[] = {0, 0.001, 0.005, 0.020};
+  static const uint64_t Budgets[] = {0, 256ull << 10, 1ull << 20,
+                                     16ull << 20};
+  P.DeadlineSeconds = Deadlines[R.nextBelow(4)];
+  P.MemoryBudgetBytes = Budgets[R.nextBelow(4)];
+  if (R.nextBool())
+    P.SlowPhaseMicros = 2000;
+  P.GraphMemorySpike = R.nextBelow(4) == 0;
+  return P;
+}
+
+/// How each (case, allocator) trial is checked — shared by the fuzz
+/// loop, the watchdog thread, and minimization.
+struct RunPolicy {
+  bool Audit = true;
+  bool FaultInject = false;
+  bool Chaos = false;
+  ChaosPlan Plan;
+  uint64_t MaxInstructions = 1ull << 32; ///< --max-instructions
+};
+
 const unsigned IntSizes[] = {4, 8, 16};
 const unsigned FltSizes[] = {2, 4, 8};
 
@@ -145,9 +197,9 @@ FuzzCase deriveCase(uint64_t Seed) {
 /// passes; otherwise fills \p Failure with a one-line diagnosis. On
 /// success, \p Cap (when non-null) receives the allocated run's memory
 /// image and return values for cross-allocator comparison.
-bool runOne(const FuzzCase &FC, AllocatorChoice AC, bool Audit,
-            bool FaultInject, std::string &Failure,
-            CapturedRun *Cap = nullptr) {
+bool runOne(const FuzzCase &FC, AllocatorChoice AC, const RunPolicy &P,
+            std::string &Failure, CapturedRun *Cap = nullptr) {
+  const bool Audit = P.Audit, FaultInject = P.FaultInject;
   auto Fail = [&](std::string Msg) {
     Failure = std::string(AC.name()) + " int=" +
               std::to_string(FC.IntK) + " flt=" + std::to_string(FC.FltK) +
@@ -170,10 +222,15 @@ bool runOne(const FuzzCase &FC, AllocatorChoice AC, bool Audit,
   // Golden run on the exact function that will be allocated, before the
   // allocator rewrites it.
   Simulator Sim(M);
+  SimOptions SO{.MaxInstructions = P.MaxInstructions};
   MemoryImage GoldenMem(M);
-  ExecutionResult Golden = Sim.runVirtual(F, GoldenMem);
+  ExecutionResult Golden = Sim.runVirtual(F, GoldenMem, SO);
   if (!Golden.Ok)
-    return Fail("golden (virtual) run trapped: " + Golden.Error);
+    return Fail(std::string(Golden.Diag.code() ==
+                                    StatusCode::DeadlineExceeded
+                                ? "golden (virtual) run hung: "
+                                : "golden (virtual) run trapped: ") +
+                Golden.Error);
 
   AllocatorConfig C;
   C.B = AC.B;
@@ -186,7 +243,13 @@ bool runOne(const FuzzCase &FC, AllocatorChoice AC, bool Audit,
     C.ParallelGraphJobs = 3;     // odd count -> uneven chunk boundaries
   }
   C.MaxPasses = 64; // Matula-Beck-style worst cases need headroom
-  C.Audit = Audit || FaultInject; // injected faults must be caught
+  C.Audit = Audit || FaultInject || P.Chaos; // faults must be caught
+  if (P.Chaos) {
+    C.DeadlineSeconds = P.Plan.DeadlineSeconds;
+    C.MemoryBudgetBytes = P.Plan.MemoryBudgetBytes;
+    C.FaultInject.SlowPhaseMicros = P.Plan.SlowPhaseMicros;
+    C.FaultInject.GraphMemorySpike = P.Plan.GraphMemorySpike;
+  }
   if (FaultInject) {
     // Alternate the injected failure mode by seed so both rungs of the
     // degradation ladder see traffic.
@@ -202,7 +265,12 @@ bool runOne(const FuzzCase &FC, AllocatorChoice AC, bool Audit,
   if (FaultInject && A.Outcome != AllocOutcome::Degraded)
     return Fail(std::string("injected fault not degraded (outcome ") +
                 allocOutcomeName(A.Outcome) + ")");
-  if (!FaultInject && A.Outcome != AllocOutcome::Converged)
+  if (P.Chaos && !FaultInject && A.Outcome == AllocOutcome::Degraded &&
+      A.Diag.code() != StatusCode::DeadlineExceeded &&
+      A.Diag.code() != StatusCode::MemoryBudgetExceeded)
+    return Fail("chaos degrade does not name the exhausted resource: " +
+                A.Diag.toString());
+  if (!FaultInject && !P.Chaos && A.Outcome != AllocOutcome::Converged)
     return Fail(std::string("unexpected ") + allocOutcomeName(A.Outcome) +
                 ": " + A.Diag.toString());
 
@@ -219,9 +287,12 @@ bool runOne(const FuzzCase &FC, AllocatorChoice AC, bool Audit,
 
   // Check 3: differential oracle against the golden run.
   MemoryImage Mem(M);
-  ExecutionResult R = Sim.runAllocated(F, A, Mem);
+  ExecutionResult R = Sim.runAllocated(F, A, Mem, SO);
   if (!R.Ok)
-    return Fail("allocated run trapped: " + R.Error);
+    return Fail(std::string(R.Diag.code() == StatusCode::DeadlineExceeded
+                                ? "allocated run hung: "
+                                : "allocated run trapped: ") +
+                R.Error);
   if (R.HasIntReturn != Golden.HasIntReturn ||
       R.IntReturn != Golden.IntReturn)
     return Fail("int return diverged: golden " +
@@ -246,13 +317,13 @@ bool runOne(const FuzzCase &FC, AllocatorChoice AC, bool Audit,
 /// otherwise \p Failure names the failing allocator or the disagreeing
 /// pair.
 bool runSeed(const FuzzCase &FC, const std::vector<AllocatorChoice> &Allocs,
-             bool Audit, bool FaultInject, std::string &Failure,
+             const RunPolicy &P, std::string &Failure,
              uint64_t *Trials = nullptr) {
   std::vector<CapturedRun> Runs(Allocs.size());
   for (size_t I = 0; I < Allocs.size(); ++I) {
     if (Trials)
       ++*Trials;
-    if (!runOne(FC, Allocs[I], Audit, FaultInject, Failure, &Runs[I]))
+    if (!runOne(FC, Allocs[I], P, Failure, &Runs[I]))
       return false;
   }
 
@@ -297,10 +368,10 @@ bool runSeed(const FuzzCase &FC, const std::vector<AllocatorChoice> &Allocs,
 /// like a single-allocator failure.
 FuzzCase minimizeCase(FuzzCase FC,
                       const std::vector<AllocatorChoice> &Allocs,
-                      bool Audit, bool FaultInject, std::string &Failure) {
+                      const RunPolicy &P, std::string &Failure) {
   auto StillFails = [&](const FuzzCase &Candidate) {
     std::string Msg;
-    if (runSeed(Candidate, Allocs, Audit, FaultInject, Msg))
+    if (runSeed(Candidate, Allocs, P, Msg))
       return false;
     Failure = Msg; // keep the message in sync with the shrunk case
     return true;
@@ -352,7 +423,7 @@ FuzzCase minimizeCase(FuzzCase FC,
 /// and one replay line per allocator under test re-runs the matrix.
 bool dumpReproducer(const std::string &Path, const FuzzCase &FC,
                     const std::vector<AllocatorChoice> &Allocs,
-                    const std::string &Failure) {
+                    const RunPolicy &P, const std::string &Failure) {
   Module M;
   buildRandomProgram(M, FC.Seed, FC.Shape);
   std::ofstream Out(Path);
@@ -361,7 +432,13 @@ bool dumpReproducer(const std::string &Path, const FuzzCase &FC,
   Out << "; ralfuzz reproducer (minimized)\n"
       << "; failure: " << Failure << "\n"
       << "; seed=" << FC.Seed << " int=" << FC.IntK << " flt=" << FC.FltK
-      << " optimize=" << (FC.Optimize ? 1 : 0) << "\n"
+      << " optimize=" << (FC.Optimize ? 1 : 0) << "\n";
+  if (P.Chaos)
+    Out << "; chaos: deadline_s=" << P.Plan.DeadlineSeconds
+        << " mem_bytes=" << P.Plan.MemoryBudgetBytes
+        << " slow_us=" << P.Plan.SlowPhaseMicros
+        << " spike=" << (P.Plan.GraphMemorySpike ? 1 : 0) << "\n";
+  Out
       << "; shape: depth=" << FC.Shape.MaxDepth
       << " stmts=" << FC.Shape.StatementsPerBlock
       << " regions=" << FC.Shape.Regions << " ivars=" << FC.Shape.IntVars
@@ -407,8 +484,9 @@ bool dumpCorpusFile(const std::string &Path, const FuzzCase &FC) {
 void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start S] [--allocators A,B,...]\n"
-               "       [--audit|--no-audit] [--fault-inject] [--out FILE]\n"
-               "       [--emit-corpus DIR] [--quiet]\n"
+               "       [--audit|--no-audit] [--fault-inject] [--chaos]\n"
+               "       [--seed-timeout-ms N] [--max-instructions N]\n"
+               "       [--out FILE] [--emit-corpus DIR] [--quiet]\n"
                "allocators: chaitin, briggs, briggs-parallel, matula-beck,\n"
                "            linear-scan, linear-scan-nosplit (default\n"
                "            chaitin,briggs,briggs-parallel,linear-scan,\n"
@@ -451,7 +529,8 @@ bool parseAllocatorList(const std::string &List,
 
 int main(int Argc, char **Argv) {
   uint64_t Seeds = 1000, Start = 0;
-  bool Audit = true, FaultInject = false, Quiet = false;
+  bool Audit = true, FaultInject = false, Chaos = false, Quiet = false;
+  uint64_t SeedTimeoutMs = 0, MaxInstructions = 1ull << 32;
   std::string OutPath = "ralfuzz-repro.ral";
   std::string CorpusDir;
   std::vector<AllocatorChoice> Allocs = defaultAllocators();
@@ -473,6 +552,12 @@ int main(int Argc, char **Argv) {
       Audit = false;
     } else if (Arg == "--fault-inject") {
       FaultInject = true;
+    } else if (Arg == "--chaos") {
+      Chaos = true;
+    } else if (Arg == "--seed-timeout-ms" && I + 1 < Argc) {
+      SeedTimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--max-instructions" && I + 1 < Argc) {
+      MaxInstructions = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--out" && I + 1 < Argc) {
       OutPath = Argv[++I];
     } else if (Arg == "--emit-corpus" && I + 1 < Argc) {
@@ -507,17 +592,62 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  uint64_t Trials = 0;
+  uint64_t Trials = 0, Skipped = 0;
 
   for (uint64_t S = Start; S < Start + Seeds; ++S) {
     FuzzCase FC = deriveCase(S);
+    RunPolicy P;
+    P.Audit = Audit;
+    P.FaultInject = FaultInject;
+    P.Chaos = Chaos;
+    if (Chaos)
+      P.Plan = deriveChaos(S);
+    P.MaxInstructions = MaxInstructions;
+
     std::string Failure;
-    if (!runSeed(FC, Allocs, Audit, FaultInject, Failure, &Trials)) {
+    bool Ok;
+    if (SeedTimeoutMs > 0) {
+      // Watchdog: the seed runs on its own thread; a seed that blows
+      // the wall-clock budget is reported and skipped — the campaign
+      // keeps going instead of hanging. The stuck thread is abandoned
+      // detached (it owns its state via shared_ptr, so nothing
+      // dangles); a real hang still shows up in the skip report.
+      struct SeedState {
+        std::string Failure;
+        bool Ok = false;
+        uint64_t Trials = 0;
+        std::promise<void> Done;
+      };
+      auto State = std::make_shared<SeedState>();
+      std::future<void> Fut = State->Done.get_future();
+      std::thread([State, FC, Allocs, P] {
+        State->Ok = runSeed(FC, Allocs, P, State->Failure, &State->Trials);
+        State->Done.set_value();
+      }).detach();
+      if (Fut.wait_for(std::chrono::milliseconds(SeedTimeoutMs)) !=
+          std::future_status::ready) {
+        ++Skipped;
+        std::fprintf(stderr,
+                     "seed %llu SKIPPED: still running after "
+                     "--seed-timeout-ms %llu (possible hang; abandoned "
+                     "detached)\n",
+                     (unsigned long long)S,
+                     (unsigned long long)SeedTimeoutMs);
+        continue;
+      }
+      Trials += State->Trials;
+      Ok = State->Ok;
+      Failure = State->Failure;
+    } else {
+      Ok = runSeed(FC, Allocs, P, Failure, &Trials);
+    }
+
+    if (!Ok) {
       std::fprintf(stderr, "seed %llu FAILED: %s\n",
                    (unsigned long long)S, Failure.c_str());
       std::fprintf(stderr, "minimizing...\n");
-      FuzzCase Min = minimizeCase(FC, Allocs, Audit, FaultInject, Failure);
-      if (dumpReproducer(OutPath, Min, Allocs, Failure))
+      FuzzCase Min = minimizeCase(FC, Allocs, P, Failure);
+      if (dumpReproducer(OutPath, Min, Allocs, P, Failure))
         std::fprintf(stderr, "reproducer written to %s\n", OutPath.c_str());
       else
         std::fprintf(stderr, "cannot write reproducer %s\n",
@@ -545,11 +675,17 @@ int main(int Argc, char **Argv) {
       Names += ",";
     Names += AC.name();
   }
+  if (Skipped > 0)
+    std::fprintf(stderr,
+                 "ralfuzz: %llu seed%s skipped by the --seed-timeout-ms "
+                 "watchdog\n",
+                 (unsigned long long)Skipped, Skipped == 1 ? "" : "s");
   std::printf("ralfuzz: %llu seeds x %zu allocators, %llu allocations "
-              "clean (%s%s; %s)\n",
+              "clean (%s%s%s; %s)\n",
               (unsigned long long)Seeds, Allocs.size(),
               (unsigned long long)Trials,
               Audit ? "audited" : "unaudited",
-              FaultInject ? ", fault-injected" : "", Names.c_str());
+              FaultInject ? ", fault-injected" : "",
+              Chaos ? ", chaos" : "", Names.c_str());
   return 0;
 }
