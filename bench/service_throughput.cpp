@@ -1,0 +1,193 @@
+//===- bench/service_throughput.cpp - AllocationService throughput --------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput study of the allocation service with its content-addressed
+// cache: N concurrent clients drive a corpus of generated modules
+// through one AllocationService, cold (every function allocated) and
+// then warm (every function served from the cache).
+//
+//   service_throughput [--clients N] [--modules M] [--seed S]
+//                      [--min-speedup X] [--bench-json FILE]
+//
+// The cold phase shards the corpus across the clients so each module is
+// allocated exactly once; the warm phase has every client replay the
+// whole corpus. Every warm reply is byte-compared against the cold
+// rewritten module — ANY divergence is a hard error, not a statistic —
+// and every warm function must actually hit the cache. Modules/sec for
+// both phases and the warm/cold speedup land in the
+// "service_throughput" section of the bench JSON. --min-speedup makes
+// the speedup an exit-code assertion (used by the acceptance run; 0
+// disables for noisy CI boxes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "ir/IRPrinter.h"
+#include "service/AllocationService.h"
+#include "support/Timer.h"
+#include "workloads/RandomProgram.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ra;
+using namespace ra::service;
+
+namespace {
+
+void die(const std::string &What) {
+  std::fprintf(stderr, "service_throughput: %s\n", What.c_str());
+  std::exit(1);
+}
+
+/// One generated module's source text (what a client would send).
+std::string makeModuleSource(uint64_t Seed) {
+  Module M;
+  RandomProgramConfig Shape;
+  Shape.MaxDepth = 3;
+  Shape.StatementsPerBlock = 10;
+  Shape.Regions = 12;
+  Shape.IntVars = 10;
+  Shape.FloatVars = 10;
+  buildRandomProgram(M, Seed, Shape);
+  return printModule(M);
+}
+
+ServiceRequest makeRequest(const std::string &Source) {
+  ServiceRequest R;
+  R.Source = Source;
+  R.Alloc.Machine = MachineInfo(6, 3); // pressure -> real spill work
+  R.Alloc.Audit = true;
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Clients = 4;
+  unsigned Modules = 32;
+  uint64_t Seed = 1;
+  double MinSpeedup = 0;
+  std::string JsonPath = BenchJson::consumeFlag(Argc, Argv);
+
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--clients") && I + 1 < Argc)
+      Clients = unsigned(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--modules") && I + 1 < Argc)
+      Modules = unsigned(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--seed") && I + 1 < Argc)
+      Seed = std::strtoull(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--min-speedup") && I + 1 < Argc)
+      MinSpeedup = std::atof(Argv[++I]);
+    else
+      die(std::string("unknown option '") + Argv[I] + "'");
+  }
+  if (Clients == 0 || Modules == 0)
+    die("--clients and --modules must be positive");
+
+  std::printf("== AllocationService throughput: %u modules, %u clients\n",
+              Modules, Clients);
+
+  std::vector<std::string> Corpus(Modules);
+  for (unsigned I = 0; I < Modules; ++I)
+    Corpus[I] = makeModuleSource(Seed + I);
+
+  AllocationService Svc;
+
+  // Cold: shard the corpus across the clients; every module allocated
+  // exactly once, concurrently. The printed rewritten module is the
+  // byte-identity reference for the warm phase.
+  std::vector<std::string> ColdText(Modules);
+  Timer Cold;
+  Cold.start();
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        for (unsigned I = C; I < Modules; I += Clients) {
+          ServiceReply Reply = Svc.run(makeRequest(Corpus[I]));
+          if (!Reply.S.ok())
+            die("cold request failed: " + Reply.S.toString());
+          for (const AllocationResult &A : Reply.MA.Functions)
+            if (!A.Success)
+              die("cold allocation failed: " + A.Diag.toString());
+          ColdText[I] = printModule(*Reply.M);
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  Cold.stop();
+  const double ColdRate = Modules / Cold.seconds();
+
+  CacheStats AfterCold = Svc.cacheStats();
+  std::printf("   cold: %7.1f modules/sec (%.3fs, %llu cache misses)\n",
+              ColdRate, Cold.seconds(),
+              (unsigned long long)AfterCold.Misses);
+
+  // Warm: every client replays the full corpus; every function must be
+  // served from the cache and print byte-identically to the cold run.
+  Timer Warm;
+  Warm.start();
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&] {
+        for (unsigned I = 0; I < Modules; ++I) {
+          ServiceReply Reply = Svc.run(makeRequest(Corpus[I]));
+          if (!Reply.S.ok())
+            die("warm request failed: " + Reply.S.toString());
+          if (Reply.numHits() != Reply.M->numFunctions())
+            die("warm request missed the cache");
+          if (printModule(*Reply.M) != ColdText[I])
+            die("warm module diverged from cold run (byte identity "
+                "violated)");
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  Warm.stop();
+  const uint64_t WarmModules = uint64_t(Clients) * Modules;
+  const double WarmRate = WarmModules / Warm.seconds();
+  const double Speedup = WarmRate / ColdRate;
+
+  CacheStats CS = Svc.cacheStats();
+  std::printf("   warm: %7.1f modules/sec (%.3fs, %llu requests, all "
+              "byte-identical)\n",
+              WarmRate, Warm.seconds(), (unsigned long long)WarmModules);
+  std::printf("   speedup: %.1fx  (cache: %llu hits, %llu misses, "
+              "%llu bytes peak)\n",
+              Speedup, (unsigned long long)CS.Hits,
+              (unsigned long long)CS.Misses,
+              (unsigned long long)CS.PeakBytes);
+
+  if (CS.Hits < WarmModules)
+    die("warm phase recorded fewer hits than replies");
+  if (MinSpeedup > 0 && Speedup < MinSpeedup)
+    die("warm/cold speedup " + std::to_string(Speedup) +
+        "x below required " + std::to_string(MinSpeedup) + "x");
+
+  if (!JsonPath.empty()) {
+    BenchJson J("service_throughput");
+    J.set("clients", Clients);
+    J.set("modules", Modules);
+    J.set("cold_modules_per_sec", ColdRate);
+    J.set("warm_modules_per_sec", WarmRate);
+    J.set("warm_cold_speedup", Speedup);
+    J.set("cache.hits", CS.Hits);
+    J.set("cache.misses", CS.Misses);
+    J.set("cache.evictions", CS.Evictions);
+    J.set("cache.peak_bytes", CS.PeakBytes);
+    if (!J.writeMerged(JsonPath))
+      die("cannot write " + JsonPath);
+  }
+  return 0;
+}

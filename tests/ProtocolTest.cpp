@@ -1,0 +1,299 @@
+//===- tests/ProtocolTest.cpp - racd wire protocol tests ------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The racd wire contract, transport-free:
+//
+//  * length-prefixed framing survives any byte chunking and refuses
+//    corrupt length prefixes without crashing or allocating unboundedly;
+//  * every message round-trips encode -> decode, and truncated payloads
+//    decode to structured errors, never out-of-bounds reads;
+//  * WireConfig's "k=v" line round-trips and rejects unknown keys;
+//  * RacdServer::handleFrame answers a replayed AllocRequest from the
+//    cache, serves stats, and acknowledges Shutdown by ending the
+//    connection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
+
+#include <gtest/gtest.h>
+
+using namespace ra;
+using namespace ra::service;
+
+namespace {
+
+/// Pops one frame expecting success.
+void popFrame(FrameReader &R, MsgType &T, std::string &Payload) {
+  Status Err;
+  ASSERT_EQ(R.pop(T, Payload, Err), FrameReader::Result::Frame)
+      << Err.toString();
+}
+
+std::string tinySource() {
+  Module M;
+  Function &F = M.newFunction("f");
+  IRBuilder B(M, F);
+  B.setInsertPoint(B.newBlock("entry"));
+  VRegId X = B.iReg("x");
+  B.movI(7, X);
+  B.ret(X);
+  return printModule(M);
+}
+
+TEST(ProtocolTest, FramesRoundTripThroughAnyChunking) {
+  std::string Wire;
+  appendFrame(Wire, MsgType::AllocRequest, "payload-one");
+  appendFrame(Wire, MsgType::StatsRequest, "");
+  appendFrame(Wire, MsgType::Error, std::string("\x00\xFF\n binary ok", 13));
+
+  // Whole-buffer feed.
+  {
+    FrameReader R;
+    R.feed(Wire.data(), Wire.size());
+    MsgType T;
+    std::string P;
+    popFrame(R, T, P);
+    EXPECT_EQ(T, MsgType::AllocRequest);
+    EXPECT_EQ(P, "payload-one");
+    popFrame(R, T, P);
+    EXPECT_EQ(T, MsgType::StatsRequest);
+    EXPECT_EQ(P, "");
+    popFrame(R, T, P);
+    EXPECT_EQ(T, MsgType::Error);
+    EXPECT_EQ(P, std::string("\x00\xFF\n binary ok", 13));
+    Status Err;
+    EXPECT_EQ(R.pop(T, P, Err), FrameReader::Result::NeedMore);
+  }
+
+  // One byte at a time: the reader must never misframe on a partial
+  // header or partial payload.
+  {
+    FrameReader R;
+    MsgType T;
+    std::string P;
+    Status Err;
+    unsigned Got = 0;
+    for (char C : Wire) {
+      R.feed(&C, 1);
+      while (R.pop(T, P, Err) == FrameReader::Result::Frame)
+        ++Got;
+    }
+    EXPECT_EQ(Got, 3u);
+  }
+}
+
+TEST(ProtocolTest, OversizeLengthPoisonsTheReader) {
+  // A length prefix over MaxFrameBytes: there is no trustworthy frame
+  // boundary after it, so the reader reports Malformed now and forever.
+  std::string Wire;
+  uint32_t Bad = MaxFrameBytes + 1;
+  for (unsigned I = 0; I < 4; ++I)
+    Wire.push_back(char((Bad >> (8 * I)) & 0xFF));
+  Wire.push_back(char(MsgType::AllocRequest));
+
+  FrameReader R;
+  R.feed(Wire.data(), Wire.size());
+  MsgType T;
+  std::string P;
+  Status Err;
+  EXPECT_EQ(R.pop(T, P, Err), FrameReader::Result::Malformed);
+  EXPECT_FALSE(Err.ok());
+
+  // Even feeding a perfectly good frame afterwards cannot unpoison it.
+  std::string Good;
+  appendFrame(Good, MsgType::StatsRequest, "");
+  R.feed(Good.data(), Good.size());
+  EXPECT_EQ(R.pop(T, P, Err), FrameReader::Result::Malformed);
+}
+
+TEST(ProtocolTest, MessagesRoundTripAndRejectTruncation) {
+  AllocRequestMsg Req;
+  Req.Config.Allocator = "matula-beck";
+  Req.Config.IntK = 5;
+  Req.Config.FltK = 3;
+  Req.Config.Remat = true;
+  Req.Config.Print = true;
+  Req.Config.DeadlineMs = 125.5;
+  Req.Source = tinySource();
+
+  AllocRequestMsg ReqBack;
+  ASSERT_TRUE(ReqBack.decode(Req.encode()).ok());
+  EXPECT_EQ(ReqBack.Config.render(), Req.Config.render());
+  EXPECT_EQ(ReqBack.Source, Req.Source);
+
+  AllocReplyMsg Reply;
+  Reply.Ok = 1;
+  Reply.Diag = "ok";
+  FunctionReplyMsg F;
+  F.Name = "f";
+  F.Outcome = uint8_t(AllocOutcome::Degraded);
+  F.Success = 1;
+  F.CacheHit = 1;
+  F.Diag = "deadline: exceeded";
+  F.Passes = 3;
+  F.Spills = 12;
+  F.LiveRanges = 40;
+  F.Printed = "func @f {\n}\n";
+  Reply.Functions = {F, F};
+
+  const std::string Encoded = Reply.encode();
+  AllocReplyMsg ReplyBack;
+  ASSERT_TRUE(ReplyBack.decode(Encoded).ok());
+  ASSERT_EQ(ReplyBack.Functions.size(), 2u);
+  EXPECT_EQ(ReplyBack.Ok, 1);
+  EXPECT_EQ(ReplyBack.Functions[1].Name, "f");
+  EXPECT_EQ(ReplyBack.Functions[1].Outcome,
+            uint8_t(AllocOutcome::Degraded));
+  EXPECT_EQ(ReplyBack.Functions[1].CacheHit, 1);
+  EXPECT_EQ(ReplyBack.Functions[1].Spills, 12u);
+  EXPECT_EQ(ReplyBack.Functions[1].Printed, F.Printed);
+
+  // Every proper prefix must decode to a structured error — a hostile
+  // or truncated payload can never read out of bounds or succeed.
+  for (size_t Cut = 0; Cut < Encoded.size(); ++Cut) {
+    AllocReplyMsg Trunc;
+    Status S = Trunc.decode(Encoded.substr(0, Cut));
+    EXPECT_FALSE(S.ok()) << "prefix of " << Cut << " bytes decoded";
+  }
+
+  StatsReplyMsg Stats;
+  Stats.Stats.Hits = 10;
+  Stats.Stats.Misses = 4;
+  Stats.Stats.PeakBytes = 1 << 20;
+  Stats.Requests = 14;
+  Stats.PoolWidth = 8;
+  StatsReplyMsg StatsBack;
+  ASSERT_TRUE(StatsBack.decode(Stats.encode()).ok());
+  EXPECT_EQ(StatsBack.Stats.Hits, 10u);
+  EXPECT_EQ(StatsBack.Stats.Misses, 4u);
+  EXPECT_EQ(StatsBack.Stats.PeakBytes, uint64_t(1) << 20);
+  EXPECT_EQ(StatsBack.Requests, 14u);
+  EXPECT_EQ(StatsBack.PoolWidth, 8u);
+}
+
+TEST(ProtocolTest, WireConfigRoundTripsAndRejectsUnknownKeys) {
+  WireConfig C;
+  C.Allocator = "linear-scan";
+  C.IntK = 4;
+  C.FltK = 2;
+  C.Optimize = false;
+  C.Split = false;
+  C.UseCache = false;
+  C.MemBudgetMb = 64;
+
+  WireConfig Back;
+  ASSERT_TRUE(Back.parse(C.render()).ok());
+  EXPECT_EQ(Back.render(), C.render());
+  EXPECT_EQ(Back.Allocator, "linear-scan");
+  EXPECT_EQ(Back.IntK, 4u);
+  EXPECT_FALSE(Back.Optimize);
+  EXPECT_FALSE(Back.UseCache);
+  EXPECT_EQ(Back.MemBudgetMb, 64u);
+
+  // A newer client's unknown knob must fail loudly, not be dropped.
+  WireConfig Bad;
+  EXPECT_FALSE(Bad.parse(C.render() + " shiny_new_knob=1").ok());
+  EXPECT_FALSE(Bad.parse("not-a-kv-token").ok());
+  EXPECT_FALSE(Bad.parse("int=0").ok()) << "zero registers is invalid";
+
+  // apply() validates the allocator spelling against rac's parser.
+  WireConfig Bogus;
+  Bogus.Allocator = "bogus";
+  AllocatorConfig AC;
+  Status S = Bogus.apply(AC);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.toString().find("unknown allocator 'bogus'"),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, HandleFrameServesWarmRepliesStatsAndShutdown) {
+  AllocationService Svc;
+  RacdServer Server(Svc);
+
+  AllocRequestMsg Req;
+  Req.Config.IntK = 4;
+  Req.Config.FltK = 2;
+  Req.Config.Print = true;
+  Req.Source = tinySource();
+
+  auto roundTrip = [&](AllocReplyMsg &Out) {
+    std::string Wire;
+    ASSERT_TRUE(
+        Server.handleFrame(MsgType::AllocRequest, Req.encode(), Wire));
+    FrameReader R;
+    R.feed(Wire.data(), Wire.size());
+    MsgType T;
+    std::string Payload;
+    popFrame(R, T, Payload);
+    ASSERT_EQ(T, MsgType::AllocReply);
+    ASSERT_TRUE(Out.decode(Payload).ok());
+  };
+
+  AllocReplyMsg Cold, Warm;
+  roundTrip(Cold);
+  ASSERT_EQ(Cold.Ok, 1) << Cold.Diag;
+  ASSERT_EQ(Cold.Functions.size(), 1u);
+  EXPECT_EQ(Cold.Functions[0].CacheHit, 0);
+  EXPECT_FALSE(Cold.Functions[0].Printed.empty());
+
+  roundTrip(Warm);
+  ASSERT_EQ(Warm.Ok, 1);
+  EXPECT_EQ(Warm.Functions[0].CacheHit, 1);
+  EXPECT_EQ(Warm.Functions[0].Printed, Cold.Functions[0].Printed);
+  EXPECT_EQ(Server.allocRequests(), 2u);
+
+  // Stats reflect the warm hit.
+  {
+    std::string Wire;
+    ASSERT_TRUE(Server.handleFrame(MsgType::StatsRequest, "", Wire));
+    FrameReader R;
+    R.feed(Wire.data(), Wire.size());
+    MsgType T;
+    std::string Payload;
+    popFrame(R, T, Payload);
+    ASSERT_EQ(T, MsgType::StatsReply);
+    StatsReplyMsg Msg;
+    ASSERT_TRUE(Msg.decode(Payload).ok());
+    EXPECT_EQ(Msg.Stats.Hits, 1u);
+    EXPECT_EQ(Msg.Stats.Misses, 1u);
+    EXPECT_EQ(Msg.Requests, 2u);
+    EXPECT_GE(Msg.PoolWidth, 1u);
+  }
+
+  // An undecodable request earns an Error frame; the connection keeps
+  // going (one bad request is the client's problem, not the session's).
+  {
+    std::string Wire;
+    EXPECT_TRUE(
+        Server.handleFrame(MsgType::AllocRequest, "garbage", Wire));
+    FrameReader R;
+    R.feed(Wire.data(), Wire.size());
+    MsgType T;
+    std::string Payload;
+    popFrame(R, T, Payload);
+    EXPECT_EQ(T, MsgType::Error);
+    EXPECT_FALSE(Payload.empty());
+  }
+
+  // Shutdown: acknowledged, connection ends, server marked stopping.
+  {
+    std::string Wire;
+    EXPECT_FALSE(Server.handleFrame(MsgType::Shutdown, "", Wire));
+    FrameReader R;
+    R.feed(Wire.data(), Wire.size());
+    MsgType T;
+    std::string Payload;
+    popFrame(R, T, Payload);
+    EXPECT_EQ(T, MsgType::ShutdownAck);
+    EXPECT_TRUE(Server.stopRequested());
+  }
+}
+
+} // namespace

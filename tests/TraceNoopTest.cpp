@@ -61,4 +61,27 @@ TEST(TraceNoop, MacrosDoNotEvaluateArguments) {
   EXPECT_EQ(Log.counter("Phase"), 0.0);
 }
 
+// The allocation cache's hot-path counters are instrumented with the
+// same macros (AllocCache.cpp emits cache.hits / cache.misses /
+// cache.evictions / cache.bytes / cache.refusals on every lookup and
+// insert). This pins the shape those call sites rely on: with tracing
+// compiled out, a cache operation's telemetry costs literally nothing —
+// not even the delta computation.
+TEST(TraceNoop, CacheCounterShapedCallsCostNothing) {
+  ra::trace::beginSession();
+  SideEffects = 0;
+  RA_TRACE_COUNTER("cache.hits", touchValue());
+  RA_TRACE_COUNTER("cache.misses", touchValue());
+  RA_TRACE_COUNTER("cache.evictions", touchValue());
+  RA_TRACE_COUNTER("cache.refusals", touchValue());
+  RA_TRACE_COUNTER("cache.bytes", -touchValue()); // eviction's negative delta
+  EXPECT_EQ(SideEffects, 0)
+      << "RA_NO_TRACING cache counter evaluated its delta";
+
+  ra::trace::SessionLog Log = ra::trace::endSession();
+  EXPECT_TRUE(Log.Events.empty());
+  EXPECT_EQ(Log.counter("cache.hits"), 0.0);
+  EXPECT_EQ(Log.counter("cache.bytes"), 0.0);
+}
+
 } // namespace

@@ -38,6 +38,10 @@
 //                        allocation and the function degrades (0 =
 //                        unbounded, the default)
 //   --audit / --no-audit run the post-allocation audit (default on)
+//   --cache / --no-cache memoize per-function allocations in the
+//                        content-addressed AllocCache (default on);
+//                        repeated functions across a batch are served
+//                        from the cache, byte-identical to a cold run
 //   --print              print the allocated function(s)
 //   --run                execute each function on zero-filled memory
 //   --quiet              suppress the statistics table
@@ -50,14 +54,17 @@
 // of dying at the first. Exit status: 0 only when every file parsed,
 // verified and allocated; 1 otherwise.
 //
+// The driver itself is a thin shell: reading files, rendering tables
+// and diagnostics. Parse -> verify -> optimize -> allocate lives in
+// service/AllocationService — the same engine the racd daemon serves
+// over its socket, so both front ends produce identical results.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchJson.h"
-#include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
-#include "ir/Verifier.h"
-#include "opt/Optimizer.h"
 #include "regalloc/Allocator.h"
+#include "service/AllocationService.h"
 #include "sim/Simulator.h"
 #include "support/Status.h"
 #include "support/Table.h"
@@ -71,6 +78,10 @@
 #include <vector>
 
 using namespace ra;
+using service::AllocationService;
+using service::ServiceConfig;
+using service::ServiceReply;
+using service::ServiceRequest;
 
 namespace {
 
@@ -83,7 +94,8 @@ void usage(const char *Prog) {
       "       [--parallel-graph[=N]] [--parallel-graph-min N]\n"
       "       [--split] [--no-split]\n"
       "       [--deadline-ms N] [--mem-budget-mb N]\n"
-      "       [--audit] [--no-audit] [--print] [--run] [--quiet]\n"
+      "       [--audit] [--no-audit] [--cache] [--no-cache]\n"
+      "       [--print] [--run] [--quiet]\n"
       "       [--bench-json FILE] [--trace FILE] [--metrics FILE]\n"
       "\n"
       "  --allocator picks the allocation backend: one of the paper's\n"
@@ -106,11 +118,31 @@ struct Options {
   unsigned ParallelGraphJobs = 0;      ///< thread count (0 = hardware)
   unsigned ParallelGraphMinNodes = 2048; ///< --parallel-graph-min
   bool Optimize = true, Remat = false, Audit = true, Split = true;
+  bool Cache = true;       ///< --cache / --no-cache
   bool Print = false, Run = false, Quiet = false;
   double DeadlineMs = 0;       ///< --deadline-ms (0 = unbounded)
   uint64_t MemBudgetMb = 0;    ///< --mem-budget-mb (0 = unbounded)
   std::string TracePath;   ///< --trace: Chrome trace JSON output.
   std::string MetricsPath; ///< --metrics: per-range CSV output.
+
+  /// The allocator configuration these options describe.
+  AllocatorConfig alloc() const {
+    AllocatorConfig C;
+    C.B = B;
+    C.H = H;
+    C.Machine = MachineInfo(IntK, FltK);
+    C.Rematerialize = Remat;
+    C.SplitIntervals = Split;
+    C.Jobs = Jobs;
+    C.ParallelGraph = ParallelGraph;
+    C.ParallelGraphJobs = ParallelGraphJobs;
+    C.ParallelGraphMinNodes = ParallelGraphMinNodes;
+    C.Audit = Audit;
+    C.DeadlineSeconds = DeadlineMs / 1e3;
+    C.MemoryBudgetBytes = MemBudgetMb << 20;
+    C.CollectMetrics = !MetricsPath.empty();
+    return C;
+  }
 };
 
 /// Aggregated telemetry across all input files for --bench-json.
@@ -122,48 +154,28 @@ struct Telemetry {
 /// Processes one input file end to end. Returns Ok only when the file
 /// parsed, verified, and every function allocated (Degraded counts as
 /// usable but is reported on stderr).
-Status processFile(const std::string &Path, const Options &Opt,
-                   Telemetry &T, std::string &MetricsCsv) {
+Status processFile(AllocationService &Svc, const std::string &Path,
+                   const Options &Opt, Telemetry &T,
+                   std::string &MetricsCsv) {
   std::ifstream In(Path);
   if (!In)
     return Status::error(StatusCode::IoError, "cannot open file");
   std::stringstream Buffer;
   Buffer << In.rdbuf();
 
-  Module M;
-  std::string Error;
-  if (!parseModule(Buffer.str(), M, Error))
-    return Status::error(StatusCode::ParseError, Error);
+  ServiceRequest Req;
+  Req.Source = Buffer.str();
+  Req.Alloc = Opt.alloc();
+  Req.Optimize = Opt.Optimize;
+  Req.UseCache = Opt.Cache;
+  ServiceReply Reply = Svc.run(Req);
+  if (!Reply.S.ok())
+    return Reply.S;
 
-  auto Errors = verifyModule(M);
-  if (!Errors.empty()) {
-    Status S = Status::error(StatusCode::VerifyError, Errors.front());
-    if (Errors.size() > 1)
-      S.addContext(std::to_string(Errors.size()) + " verifier errors, first");
-    return S;
-  }
+  Module &M = *Reply.M;
+  ModuleAllocationResult &MA = Reply.MA;
 
-  if (Opt.Optimize)
-    for (unsigned FI = 0; FI < M.numFunctions(); ++FI)
-      optimizeFunction(M.function(FI));
-
-  AllocatorConfig C;
-  C.B = Opt.B;
-  C.H = Opt.H;
-  C.Machine = MachineInfo(Opt.IntK, Opt.FltK);
-  C.Rematerialize = Opt.Remat;
-  C.SplitIntervals = Opt.Split;
-  C.Jobs = Opt.Jobs;
-  C.ParallelGraph = Opt.ParallelGraph;
-  C.ParallelGraphJobs = Opt.ParallelGraphJobs;
-  C.ParallelGraphMinNodes = Opt.ParallelGraphMinNodes;
-  C.Audit = Opt.Audit;
-  C.DeadlineSeconds = Opt.DeadlineMs / 1e3;
-  C.MemoryBudgetBytes = Opt.MemBudgetMb << 20;
-  C.CollectMetrics = !Opt.MetricsPath.empty();
-  ModuleAllocationResult MA = allocateModule(M, C);
-
-  if (C.CollectMetrics)
+  if (Req.Alloc.CollectMetrics)
     for (unsigned FI = 0; FI < M.numFunctions(); ++FI)
       appendMetricsCsv(MetricsCsv, M.function(FI).name(),
                        MA.Functions[FI].Metrics);
@@ -300,6 +312,10 @@ int main(int Argc, char **Argv) {
       Opt.Audit = true;
     } else if (Arg == "--no-audit") {
       Opt.Audit = false;
+    } else if (Arg == "--cache") {
+      Opt.Cache = true;
+    } else if (Arg == "--no-cache") {
+      Opt.Cache = false;
     } else if (Arg == "--print") {
       Opt.Print = true;
     } else if (Arg == "--run") {
@@ -330,13 +346,21 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // One service instance spans the whole batch, so a function repeated
+  // across input files (or files repeated on the command line) is
+  // allocated once and served from the cache after that.
+  ServiceConfig SC;
+  SC.CacheEnabled = Opt.Cache;
+  SC.Workers = Opt.Jobs;
+  AllocationService Svc(SC);
+
   Telemetry T;
   std::string MetricsCsv;
   bool Failed = false;
   if (!Opt.TracePath.empty())
     trace::beginSession();
   for (const std::string &Path : Paths) {
-    Status S = processFile(Path, Opt, T, MetricsCsv);
+    Status S = processFile(Svc, Path, Opt, T, MetricsCsv);
     if (!S.ok()) {
       // Parse/verify/open failures were not yet printed by processFile;
       // allocation failures were. Printing the headline status twice is
@@ -372,6 +396,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (!JsonPath.empty()) {
+    service::CacheStats CS = Svc.cacheStats();
     BenchJson J("rac");
     J.set("allocator", std::string(allocatorName(Opt.B, Opt.H)));
     J.set("backend", std::string(backendName(Opt.B)));
@@ -387,6 +412,13 @@ int main(int Argc, char **Argv) {
     J.set("phases.simplify_seconds", T.Simplify);
     J.set("phases.select_seconds", T.Select);
     J.set("phases.spill_seconds", T.Spill);
+    J.set("cache.enabled", Opt.Cache ? 1 : 0);
+    J.set("cache.hits", CS.Hits);
+    J.set("cache.misses", CS.Misses);
+    J.set("cache.insertions", CS.Insertions);
+    J.set("cache.evictions", CS.Evictions);
+    J.set("cache.bytes_in_use", CS.BytesInUse);
+    J.set("cache.peak_bytes", CS.PeakBytes);
     if (!J.writeMerged(JsonPath))
       std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
   }

@@ -1,0 +1,125 @@
+//===- tools/racd.cpp - register-allocation daemon ------------------------===//
+//
+// Part of briggs-regalloc. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Allocation as a service: one long-lived process holding one
+// AllocationService (shared ThreadPool + content-addressed AllocCache)
+// and serving the racd wire protocol:
+//
+//   racd --socket PATH [options]     listen on a Unix-domain socket,
+//                                    one thread per connection
+//   racd --stdio [options]           serve a single session over
+//                                    stdin/stdout (inetd-style; handy
+//                                    for tests and pipes)
+//
+//   --workers N          miss-allocation pool width (0 = one per
+//                        hardware thread, the default)
+//   --cache-entries N    cache entry bound (default 65536; 0 = unbounded)
+//   --cache-mb N         cache byte ceiling (default 256; 0 = unbounded)
+//   --no-cache           disable the allocation cache entirely
+//   --stats-csv FILE     append one cache-counter CSV sample at shutdown
+//
+// Requests carry their own allocator configuration (backend, register
+// files, deadline, memory budget), so one daemon serves heterogeneous
+// clients; results are byte-identical to running rac on the same input.
+// A Shutdown frame stops the daemon cleanly: the listener wakes, every
+// connection thread is joined, and the socket file is unlinked.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AllocationService.h"
+#include "service/Server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace ra;
+using namespace ra::service;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s (--socket PATH | --stdio)\n"
+               "       [--workers N] [--cache-entries N] [--cache-mb N]\n"
+               "       [--no-cache] [--stats-csv FILE]\n",
+               Prog);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath, StatsCsvPath;
+  bool Stdio = false;
+  ServiceConfig SC;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--socket" && I + 1 < Argc) {
+      SocketPath = Argv[++I];
+    } else if (Arg == "--stdio") {
+      Stdio = true;
+    } else if (Arg == "--workers" && I + 1 < Argc) {
+      SC.Workers = unsigned(std::atoi(Argv[++I]));
+    } else if (Arg == "--cache-entries" && I + 1 < Argc) {
+      SC.CacheMaxEntries = uint64_t(std::atoll(Argv[++I]));
+    } else if (Arg == "--cache-mb" && I + 1 < Argc) {
+      SC.CacheMaxBytes = uint64_t(std::atoll(Argv[++I])) << 20;
+    } else if (Arg == "--no-cache") {
+      SC.CacheEnabled = false;
+    } else if (Arg == "--stats-csv" && I + 1 < Argc) {
+      StatsCsvPath = Argv[++I];
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "racd: unknown option '%s'\n", Arg.c_str());
+      usage(Argv[0]);
+      return 1;
+    }
+  }
+  if (Stdio == !SocketPath.empty()) {
+    usage(Argv[0]);
+    return 1;
+  }
+
+  AllocationService Svc(SC);
+  RacdServer Server(Svc);
+  Status S;
+  if (Stdio) {
+    S = Server.serveStream(/*InFd=*/0, /*OutFd=*/1);
+  } else {
+    S = Server.listenUnix(SocketPath);
+    if (S.ok()) {
+      std::fprintf(stderr, "racd: listening on %s (%u workers)\n",
+                   SocketPath.c_str(), Svc.poolWidth());
+      S = Server.acceptLoop();
+    }
+  }
+  if (!S.ok())
+    std::fprintf(stderr, "racd: %s\n", S.toString().c_str());
+
+  CacheStats CS = Svc.cacheStats();
+  std::fprintf(stderr,
+               "racd: served %llu requests; cache %llu hits / %llu misses"
+               " / %llu evictions, %llu bytes peak\n",
+               (unsigned long long)Svc.requestsServed(),
+               (unsigned long long)CS.Hits, (unsigned long long)CS.Misses,
+               (unsigned long long)CS.Evictions,
+               (unsigned long long)CS.PeakBytes);
+  if (!StatsCsvPath.empty()) {
+    std::ofstream Out(StatsCsvPath);
+    if (Out)
+      Out << cacheStatsCsvHeader() << cacheStatsCsvRow(CS);
+    if (!Out || !Out.flush()) {
+      std::fprintf(stderr, "racd: cannot write %s\n", StatsCsvPath.c_str());
+      return 1;
+    }
+  }
+  return S.ok() ? 0 : 1;
+}

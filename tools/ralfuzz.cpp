@@ -55,6 +55,10 @@
 //                   exhausted ceiling is reported as a structured
 //                   deadline-exceeded trap, distinguishing an allocator-
 //                   induced infinite loop from a wrong-answer trap
+//   --service       replay every seed twice per allocator through one
+//                   in-process AllocationService: the warm pass must be
+//                   served from the content-addressed cache and
+//                   reproduce the cold allocation byte for byte
 //   --out FILE      reproducer path (default ralfuzz-repro.ral)
 //   --emit-corpus DIR  instead of fuzzing, write one reproducer-format
 //                   .ral per seed into DIR (seeds the checked-in
@@ -68,6 +72,7 @@
 #include "opt/Optimizer.h"
 #include "regalloc/AllocationAudit.h"
 #include "regalloc/Allocator.h"
+#include "service/AllocationService.h"
 #include "sim/Simulator.h"
 #include "support/Rng.h"
 #include "workloads/RandomProgram.h"
@@ -361,6 +366,81 @@ bool runSeed(const FuzzCase &FC, const std::vector<AllocatorChoice> &Allocs,
   return true;
 }
 
+/// Service-mode oracle: replays one seed twice per allocator through a
+/// single shared AllocationService. The first pass allocates cold (and
+/// populates the content-addressed cache); the second must be served
+/// from the cache and reproduce the cold run byte for byte — printed
+/// rewritten module, color assignments, spill counts, everything. Warm
+/// passes that miss the cache are themselves failures: a converged
+/// allocation that does not memoize would silently disable the service.
+bool runSeedService(ra::service::AllocationService &Svc, const FuzzCase &FC,
+                    const std::vector<AllocatorChoice> &Allocs,
+                    std::string &Failure, uint64_t *Trials = nullptr) {
+  Module M;
+  buildRandomProgram(M, FC.Seed, FC.Shape);
+  const std::string Source = printModule(M);
+
+  for (const AllocatorChoice &AC : Allocs) {
+    auto Fail = [&](std::string Msg) {
+      Failure = std::string(AC.name()) + " int=" + std::to_string(FC.IntK) +
+                " flt=" + std::to_string(FC.FltK) +
+                " (service): " + std::move(Msg);
+      return false;
+    };
+
+    ra::service::ServiceRequest Req;
+    Req.Source = Source;
+    Req.Optimize = FC.Optimize;
+    Req.Alloc.B = AC.B;
+    Req.Alloc.H = AC.H;
+    Req.Alloc.Machine = MachineInfo(FC.IntK, FC.FltK);
+    Req.Alloc.SplitIntervals = AC.Split;
+    if (AC.ParallelGraph) {
+      Req.Alloc.ParallelGraph = true;
+      Req.Alloc.ParallelGraphMinNodes = 0;
+      Req.Alloc.ParallelGraphJobs = 3;
+    }
+    Req.Alloc.MaxPasses = 64;
+    Req.Alloc.Audit = true;
+
+    if (Trials)
+      *Trials += 2;
+    ra::service::ServiceReply Cold = Svc.run(Req);
+    if (!Cold.S.ok())
+      return Fail("cold request failed: " + Cold.S.toString());
+    ra::service::ServiceReply Warm = Svc.run(Req);
+    if (!Warm.S.ok())
+      return Fail("warm request failed: " + Warm.S.toString());
+
+    for (unsigned I = 0; I < Cold.M->numFunctions(); ++I) {
+      const AllocationResult &CA = Cold.MA.Functions[I];
+      const AllocationResult &WA = Warm.MA.Functions[I];
+      if (!CA.Success)
+        return Fail("cold allocation failed: " + CA.Diag.toString());
+      if (CA.Outcome != AllocOutcome::Converged)
+        return Fail(std::string("cold allocation ") +
+                    allocOutcomeName(CA.Outcome) + ": " +
+                    CA.Diag.toString());
+      if (!Warm.CacheHit[I])
+        return Fail("warm pass missed the cache for @" +
+                    Cold.M->function(I).name());
+      if (CA.ColorOf != WA.ColorOf)
+        return Fail("warm color assignments diverged from cold for @" +
+                    Cold.M->function(I).name());
+      if (CA.Stats.totalSpills() != WA.Stats.totalSpills() ||
+          CA.Stats.numPasses() != WA.Stats.numPasses())
+        return Fail("warm allocation stats diverged from cold for @" +
+                    Cold.M->function(I).name());
+    }
+    // The decisive check: the rewritten modules print byte-identically.
+    std::string ColdText = printModule(*Cold.M);
+    std::string WarmText = printModule(*Warm.M);
+    if (ColdText != WarmText)
+      return Fail("warm rewritten module diverged from cold");
+  }
+  return true;
+}
+
 /// Greedily shrinks the program shape while the failure reproduces.
 /// Each knob is walked down one notch at a time; one sweep that changes
 /// nothing ends the loop, so this terminates. Minimization replays the
@@ -485,7 +565,8 @@ void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start S] [--allocators A,B,...]\n"
                "       [--audit|--no-audit] [--fault-inject] [--chaos]\n"
-               "       [--seed-timeout-ms N] [--max-instructions N]\n"
+               "       [--service] [--seed-timeout-ms N]\n"
+               "       [--max-instructions N]\n"
                "       [--out FILE] [--emit-corpus DIR] [--quiet]\n"
                "allocators: chaitin, briggs, briggs-parallel, matula-beck,\n"
                "            linear-scan, linear-scan-nosplit (default\n"
@@ -530,6 +611,7 @@ bool parseAllocatorList(const std::string &List,
 int main(int Argc, char **Argv) {
   uint64_t Seeds = 1000, Start = 0;
   bool Audit = true, FaultInject = false, Chaos = false, Quiet = false;
+  bool Service = false;
   uint64_t SeedTimeoutMs = 0, MaxInstructions = 1ull << 32;
   std::string OutPath = "ralfuzz-repro.ral";
   std::string CorpusDir;
@@ -554,6 +636,8 @@ int main(int Argc, char **Argv) {
       FaultInject = true;
     } else if (Arg == "--chaos") {
       Chaos = true;
+    } else if (Arg == "--service") {
+      Service = true;
     } else if (Arg == "--seed-timeout-ms" && I + 1 < Argc) {
       SeedTimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--max-instructions" && I + 1 < Argc) {
@@ -592,6 +676,20 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  if (Service && (FaultInject || Chaos)) {
+    std::fprintf(stderr,
+                 "ralfuzz: --service cannot combine with --fault-inject "
+                 "or --chaos (injected faults and governed outcomes are "
+                 "deliberately uncacheable, so the warm-hit oracle would "
+                 "always fail)\n");
+    return 1;
+  }
+  // One service (one cache, one pool) across the whole campaign — the
+  // same sharing a long-lived racd would exhibit.
+  std::optional<ra::service::AllocationService> Svc;
+  if (Service)
+    Svc.emplace();
+
   uint64_t Trials = 0, Skipped = 0;
 
   for (uint64_t S = Start; S < Start + Seeds; ++S) {
@@ -606,7 +704,9 @@ int main(int Argc, char **Argv) {
 
     std::string Failure;
     bool Ok;
-    if (SeedTimeoutMs > 0) {
+    if (Service) {
+      Ok = runSeedService(*Svc, FC, Allocs, Failure, &Trials);
+    } else if (SeedTimeoutMs > 0) {
       // Watchdog: the seed runs on its own thread; a seed that blows
       // the wall-clock budget is reported and skipped — the campaign
       // keeps going instead of hanging. The stuck thread is abandoned
@@ -645,6 +745,12 @@ int main(int Argc, char **Argv) {
     if (!Ok) {
       std::fprintf(stderr, "seed %llu FAILED: %s\n",
                    (unsigned long long)S, Failure.c_str());
+      if (Service) {
+        // Cold-vs-warm divergences depend on shared-cache state, which
+        // the shape-shrinking minimizer cannot replay faithfully — the
+        // seed and allocator in the failure line are the reproducer.
+        return 1;
+      }
       std::fprintf(stderr, "minimizing...\n");
       FuzzCase Min = minimizeCase(FC, Allocs, P, Failure);
       if (dumpReproducer(OutPath, Min, Allocs, P, Failure))
@@ -687,5 +793,12 @@ int main(int Argc, char **Argv) {
               Audit ? "audited" : "unaudited",
               FaultInject ? ", fault-injected" : "",
               Chaos ? ", chaos" : "", Names.c_str());
+  if (Service) {
+    ra::service::CacheStats CS = Svc->cacheStats();
+    std::printf("ralfuzz: service cache %llu hits / %llu misses, every "
+                "warm replay byte-identical\n",
+                (unsigned long long)CS.Hits,
+                (unsigned long long)CS.Misses);
+  }
   return 0;
 }
